@@ -1,0 +1,72 @@
+// Command bench runs the paper's evaluation experiments and prints
+// the corresponding figure's rows or series.
+//
+// Usage:
+//
+//	bench -exp fig8|fig9|fig10|fig11|all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/perflab"
+	"repro/internal/server"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, all")
+	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
+	flag.Parse()
+
+	pc := experiments.Full
+	if *quick {
+		pc = experiments.Quick
+	}
+
+	run := func(name string, f func(perflab.Config) error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := f(pc); err != nil {
+			fmt.Fprintf(os.Stderr, "bench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig8", func(pc perflab.Config) error {
+		rows, err := experiments.Fig8(pc)
+		if err != nil {
+			return err
+		}
+		experiments.ReportFig8(os.Stdout, rows)
+		return nil
+	})
+	run("fig9", func(perflab.Config) error {
+		res, err := experiments.Fig9()
+		if err != nil {
+			return err
+		}
+		server.Report(os.Stdout, res)
+		return nil
+	})
+	run("fig10", func(pc perflab.Config) error {
+		rows, err := experiments.Fig10(pc)
+		if err != nil {
+			return err
+		}
+		experiments.ReportFig10(os.Stdout, rows)
+		return nil
+	})
+	run("fig11", func(pc perflab.Config) error {
+		rows, err := experiments.Fig11(pc, nil)
+		if err != nil {
+			return err
+		}
+		experiments.ReportFig11(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,52 @@
+// Command hhbcdump compiles a PHP-subset source file ahead of time
+// and prints the HHBC disassembly (optionally after serializing
+// through the binary repo format, exercising the deployment path of
+// Figure 1).
+//
+// Usage:
+//
+//	hhbcdump [-roundtrip] [-no-hhbbc] file.php
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hhbc"
+)
+
+func main() {
+	roundtrip := flag.Bool("roundtrip", false, "encode+decode through the binary repo format first")
+	noHHBBC := flag.Bool("no-hhbbc", false, "skip the bytecode-to-bytecode optimizer")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hhbcdump [flags] file.php")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	unit, err := core.Compile(string(src), core.CompileOptions{SkipHHBBC: *noHHBBC})
+	if err != nil {
+		fatal(err)
+	}
+	if *roundtrip {
+		blob := hhbc.EncodeUnit(unit)
+		fmt.Fprintf(os.Stderr, "repo blob: %d bytes\n", len(blob))
+		unit, err = hhbc.DecodeUnit(blob)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, f := range unit.Funcs {
+		fmt.Print(hhbc.Disassemble(unit, f))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hhbcdump:", err)
+	os.Exit(1)
+}

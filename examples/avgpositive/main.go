@@ -1,0 +1,80 @@
+// The paper's running example (Figure 2): avgPositive over arrays of
+// ints and doubles. This example shows the compilation artifacts the
+// paper's figures discuss: the HHBC bytecode (Figure 3), the
+// profiling tracelets with their type guards (Figure 4), and the
+// final mode comparison.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hhbc"
+	"repro/internal/jit"
+)
+
+const src = `
+function avgPositive($arr) {
+  $sum = 0;
+  $n = 0;
+  $size = count($arr);
+  for ($i = 0; $i < $size; $i++) {
+    $elem = $arr[$i];
+    if ($elem > 0) {
+      $sum = $sum + $elem;
+      $n++;
+    }
+  }
+  if ($n == 0) {
+    throw new Exception("no positive numbers");
+  }
+  return $sum / $n;
+}
+echo avgPositive([1, -2, 3, 4]), "\n";
+echo avgPositive([1.5, -0.5, 2.5]), "\n";
+echo avgPositive([1, 2.5, 3]), "\n";
+`
+
+func main() {
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Figure 3 flavor: the bytecode for avgPositive.
+	f, _ := unit.FuncByName("avgPositive")
+	fmt.Println("--- HHBC for avgPositive (compare the paper's Figure 3) ---")
+	fmt.Print(hhbc.Disassemble(unit, f))
+
+	// Figure 8 flavor: steady-state cost per mode.
+	fmt.Println("\n--- execution-mode comparison (compare Figure 8) ---")
+	for _, mode := range []jit.Mode{jit.ModeInterp, jit.ModeTracelet, jit.ModeRegion} {
+		cfg := jit.DefaultConfig()
+		cfg.Mode = mode
+		cfg.ProfileTrigger = 30
+		eng, err := core.NewEngine(unit, cfg, io.Discard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var last uint64
+		for i := 0; i < 25; i++ {
+			last, err = eng.RunRequest(io.Discard)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("%-10s %8d cycles/request\n", mode, last)
+	}
+
+	fmt.Println("\n--- program output ---")
+	eng, _ := core.NewEngine(unit, jit.DefaultConfig(), os.Stdout)
+	if _, err := eng.RunRequest(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,170 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+)
+
+// progGen generates random (but deterministic per seed) PHP-subset
+// programs exercising arithmetic, strings, arrays, branches, loops,
+// and calls. The differential fuzz test runs each program in
+// interpreter and region-JIT modes and requires identical output —
+// through the profiling → optimized transition.
+type progGen struct {
+	r    *rand.Rand
+	vars []string
+	sb   strings.Builder
+	fns  int
+}
+
+func newProgGen(seed int64) *progGen {
+	return &progGen{r: rand.New(rand.NewSource(seed))}
+}
+
+func (g *progGen) pickVar() string {
+	if len(g.vars) == 0 || g.r.Intn(4) == 0 {
+		v := fmt.Sprintf("v%d", len(g.vars))
+		g.vars = append(g.vars, v)
+		return v
+	}
+	return g.vars[g.r.Intn(len(g.vars))]
+}
+
+func (g *progGen) expr(depth int) string {
+	if depth <= 0 {
+		switch g.r.Intn(5) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(100)-20)
+		case 1:
+			return fmt.Sprintf("%d.5", g.r.Intn(10))
+		case 2:
+			return fmt.Sprintf("\"s%d\"", g.r.Intn(10))
+		default:
+			if len(g.vars) == 0 {
+				return "1"
+			}
+			return "$" + g.vars[g.r.Intn(len(g.vars))]
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fmt.Sprintf("(%s - %s)", g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fmt.Sprintf("(%s * %s)", g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s . %s)", g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return fmt.Sprintf("(%s < %s ? %s : %s)",
+			g.expr(depth-1), g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return fmt.Sprintf("strlen(strval(%s))", g.expr(depth-1))
+	case 6:
+		return fmt.Sprintf("(int)(%s)", g.expr(depth-1))
+	default:
+		return g.expr(depth - 1)
+	}
+}
+
+func (g *progGen) stmt(depth int) {
+	switch g.r.Intn(7) {
+	case 0, 1:
+		fmt.Fprintf(&g.sb, "$%s = %s;\n", g.pickVar(), g.expr(2))
+	case 2:
+		v := g.pickVar()
+		fmt.Fprintf(&g.sb, "$%s = 0;\nfor ($i%d = 0; $i%d < %d; $i%d++) { $%s = $%s + %s; }\n",
+			v, g.fns, g.fns, 2+g.r.Intn(6), g.fns, v, v, g.expr(1))
+		g.fns++
+	case 3:
+		if depth > 0 {
+			fmt.Fprintf(&g.sb, "if (%s) {\n", g.expr(1))
+			g.stmt(depth - 1)
+			g.sb.WriteString("} else {\n")
+			g.stmt(depth - 1)
+			g.sb.WriteString("}\n")
+		} else {
+			fmt.Fprintf(&g.sb, "echo %s, \";\";\n", g.expr(1))
+		}
+	case 4:
+		// Arrays live in their own namespace so scalar arithmetic
+		// never sees them (Arr + Int is a legitimate guest error).
+		v := fmt.Sprintf("arr%d", g.fns)
+		g.fns++
+		fmt.Fprintf(&g.sb, "$%s = [%s, %s, %s];\n", v, g.expr(1), g.expr(1), g.expr(1))
+		fmt.Fprintf(&g.sb, "$%s[] = %s;\n", v, g.expr(1))
+		fmt.Fprintf(&g.sb, "echo count($%s), \";\";\n", v)
+	case 5:
+		v := g.pickVar()
+		fmt.Fprintf(&g.sb, "$%s = 0;\nforeach ([%s, %s] as $e%d) { $%s = $%s + strlen(strval($e%d)); }\n",
+			v, g.expr(1), g.expr(1), g.fns, v, v, g.fns)
+		g.fns++
+	default:
+		fmt.Fprintf(&g.sb, "echo %s, \";\";\n", g.expr(2))
+	}
+}
+
+func (g *progGen) generate() string {
+	// A helper function (polymorphic: int and double call sites).
+	g.sb.WriteString(`
+function helper($x, $y) {
+  if ($x < $y) { return $x + $y; }
+  return $x . "-" . $y;
+}
+`)
+	n := 3 + g.r.Intn(5)
+	for i := 0; i < n; i++ {
+		g.stmt(2)
+	}
+	fmt.Fprintf(&g.sb, "echo helper(%d, %d), \";\";\n", g.r.Intn(10), g.r.Intn(10))
+	fmt.Fprintf(&g.sb, "echo helper(%d.5, %d), \";\";\n", g.r.Intn(10), g.r.Intn(10))
+	for _, v := range g.vars {
+		fmt.Fprintf(&g.sb, "echo strval($%s), \";\";\n", v)
+	}
+	return g.sb.String()
+}
+
+func TestDifferentialFuzz(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		src := newProgGen(seed).generate()
+		unit, err := core.Compile(src, core.CompileOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+
+		run := func(mode jit.Mode) string {
+			cfg := jit.DefaultConfig()
+			cfg.Mode = mode
+			cfg.ProfileTrigger = 25
+			var all strings.Builder
+			eng, err := core.NewEngine(unit, cfg, &all)
+			if err != nil {
+				t.Fatalf("seed %d: engine: %v", seed, err)
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := eng.RunRequest(&all); err != nil {
+					t.Fatalf("seed %d [%v] iter %d: %v\n%s", seed, mode, i, err, src)
+				}
+				all.WriteString("|")
+			}
+			return all.String()
+		}
+
+		want := run(jit.ModeInterp)
+		for _, mode := range []jit.Mode{jit.ModeTracelet, jit.ModeRegion} {
+			if got := run(mode); got != want {
+				t.Errorf("seed %d: %v diverges from interpreter\n got: %.200q\nwant: %.200q\nprogram:\n%s",
+					seed, mode, got, want, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package emitter lowers the AST into HHBC, the stack bytecode
+// executed by the interpreter and compiled by the JIT.
+package emitter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/hhbc"
+	"repro/internal/types"
+)
+
+// Emit compiles a parsed program into a bytecode unit.
+func Emit(prog *ast.Program) (*hhbc.Unit, error) {
+	u := hhbc.NewUnit()
+	em := &unitEmitter{unit: u, prog: prog, funcIDs: map[string]int{}}
+
+	// Reserve IDs for all declared functions and methods first so
+	// calls can be emitted as direct (FCallD) references.
+	for _, f := range prog.Funcs {
+		em.declare(f)
+	}
+	for _, c := range prog.Classes {
+		if c.IsInterface {
+			continue
+		}
+		for _, m := range c.Methods {
+			em.declare(m)
+		}
+	}
+
+	for _, f := range prog.Funcs {
+		if err := em.emitFunc(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range prog.Classes {
+		if err := em.emitClass(c); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pseudo-main.
+	mainDecl := &ast.FuncDecl{Name: "__pseudo_main", Body: prog.Main}
+	em.declare(mainDecl)
+	if err := em.emitFunc(mainDecl); err != nil {
+		return nil, err
+	}
+	u.Main = em.funcIDs[strings.ToLower("__pseudo_main")]
+
+	if err := hhbc.VerifyUnit(u); err != nil {
+		return nil, fmt.Errorf("emitter produced invalid bytecode: %w", err)
+	}
+	return u, nil
+}
+
+type unitEmitter struct {
+	unit    *hhbc.Unit
+	prog    *ast.Program
+	funcIDs map[string]int
+}
+
+func (em *unitEmitter) declare(f *ast.FuncDecl) {
+	full := f.Name
+	if f.Class != "" {
+		full = f.Class + "::" + f.Name
+	}
+	fn := &hhbc.Func{Name: f.Name, Class: f.Class, IsMethod: f.Class != "" && !f.Static}
+	id := em.unit.AddFunc(fn)
+	em.funcIDs[strings.ToLower(full)] = id
+}
+
+// isUserFunc reports whether name is a declared function.
+func (em *unitEmitter) isUserFunc(name string) bool {
+	_, ok := em.funcIDs[strings.ToLower(name)]
+	return ok
+}
+
+func (em *unitEmitter) emitClass(c *ast.ClassDecl) error {
+	def := &hhbc.ClassDef{
+		Name:    c.Name,
+		Parent:  c.Parent,
+		Ifaces:  c.Ifaces,
+		Methods: map[string]int{},
+	}
+	if c.IsInterface {
+		em.unit.Classes = append(em.unit.Classes, def)
+		return nil
+	}
+	for _, p := range c.Props {
+		pd := hhbc.PropDef{Name: p.Name}
+		if p.Default != nil {
+			k, i, d, s, ok := literalValue(p.Default)
+			if !ok {
+				return fmt.Errorf("class %s: property $%s default must be a literal", c.Name, p.Name)
+			}
+			pd.DefaultKind, pd.DefaultInt, pd.DefaultDbl, pd.DefaultStr = k, i, d, s
+		}
+		def.Props = append(def.Props, pd)
+	}
+	for _, m := range c.Methods {
+		if strings.EqualFold(m.Name, "__destruct") {
+			def.HasDtor = true
+		}
+		def.Methods[strings.ToLower(m.Name)] = em.funcIDs[strings.ToLower(c.Name+"::"+m.Name)]
+		if err := em.emitFunc(m); err != nil {
+			return err
+		}
+	}
+	em.unit.Classes = append(em.unit.Classes, def)
+	return nil
+}
+
+// funcEmitter emits one function body.
+type funcEmitter struct {
+	*unitEmitter
+	fn     *hhbc.Func
+	decl   *ast.FuncDecl
+	locals map[string]int32
+	// loop context stacks for break/continue patching.
+	loops []*loopCtx
+	// iterator slot allocation
+	numIters int
+	// temp local allocation
+	tempBase int
+}
+
+type loopCtx struct {
+	breaks    []int // pcs of Jmp instrs to patch to loop end
+	continues []int // pcs of Jmp instrs to patch to continue point
+	// iterToFree: iterator slot to free when breaking out (foreach), -1 none
+	iterToFree int
+}
+
+func (em *unitEmitter) emitFunc(f *ast.FuncDecl) error {
+	id := em.funcIDs[strings.ToLower(funcFullName(f))]
+	fn := em.unit.Funcs[id]
+	fe := &funcEmitter{unitEmitter: em, fn: fn, decl: f, locals: map[string]int32{}}
+
+	for _, p := range f.Params {
+		slot := int32(len(fe.locals))
+		fe.locals[p.Name] = slot
+		fn.LocalName = append(fn.LocalName, p.Name)
+		prm := hhbc.Param{Name: p.Name, TypeHint: p.TypeHint, Nullable: p.Nullable}
+		if p.Default != nil {
+			k, i, d, s, ok := literalValue(p.Default)
+			if !ok {
+				return fmt.Errorf("%s: parameter $%s default must be a literal", funcFullName(f), p.Name)
+			}
+			prm.HasDefault = true
+			prm.DefaultKind, prm.DefaultInt, prm.DefaultDbl, prm.DefaultStr = k, i, d, s
+		}
+		fn.Params = append(fn.Params, prm)
+	}
+
+	// Runtime-checked shallow type hints.
+	for i, p := range f.Params {
+		if p.TypeHint != "" {
+			fe.emit(hhbc.OpVerifyParamType, int32(i), 0, 0)
+		}
+	}
+
+	if err := fe.stmts(f.Body); err != nil {
+		return fmt.Errorf("%s: %w", funcFullName(f), err)
+	}
+	// Implicit return null.
+	fe.emit(hhbc.OpNull, 0, 0, 0)
+	fe.emit(hhbc.OpRetC, 0, 0, 0)
+	fn.NumLocals = len(fe.locals) + fe.tempBase
+	// locals named map only covers named ones; temps live above.
+	return nil
+}
+
+func funcFullName(f *ast.FuncDecl) string {
+	if f.Class != "" {
+		return f.Class + "::" + f.Name
+	}
+	return f.Name
+}
+
+func (fe *funcEmitter) emit(op hhbc.Op, a, b, c int32) int {
+	fe.fn.Instrs = append(fe.fn.Instrs, hhbc.Instr{Op: op, A: a, B: b, C: c})
+	return len(fe.fn.Instrs) - 1
+}
+
+func (fe *funcEmitter) pc() int { return len(fe.fn.Instrs) }
+
+func (fe *funcEmitter) patch(pc int, target int) {
+	fe.fn.Instrs[pc].A = int32(target)
+}
+
+func (fe *funcEmitter) local(name string) int32 {
+	if slot, ok := fe.locals[name]; ok {
+		return slot
+	}
+	slot := int32(len(fe.locals))
+	fe.locals[name] = slot
+	fe.fn.LocalName = append(fe.fn.LocalName, name)
+	return slot
+}
+
+// temp allocates a hidden local (never reused across statements for
+// simplicity; counts are tiny).
+func (fe *funcEmitter) temp() int32 {
+	fe.tempBase++
+	return fe.local(fmt.Sprintf("__t%d", fe.tempBase))
+}
+
+func (fe *funcEmitter) iter() int32 {
+	fe.numIters++
+	return int32(fe.numIters - 1)
+}
+
+func literalValue(e ast.Expr) (k types.Kind, i int64, d float64, s string, ok bool) {
+	switch v := e.(type) {
+	case *ast.IntLit:
+		return types.KInt, v.Value, 0, "", true
+	case *ast.FloatLit:
+		return types.KDbl, 0, v.Value, "", true
+	case *ast.StringLit:
+		return types.KStr, 0, 0, v.Value, true
+	case *ast.BoolLit:
+		b := int64(0)
+		if v.Value {
+			b = 1
+		}
+		return types.KBool, b, 0, "", true
+	case *ast.NullLit:
+		return types.KNull, 0, 0, "", true
+	case *ast.Unop:
+		if v.Op == "-" {
+			if iv, ok2 := v.E.(*ast.IntLit); ok2 {
+				return types.KInt, -iv.Value, 0, "", true
+			}
+			if fv, ok2 := v.E.(*ast.FloatLit); ok2 {
+				return types.KDbl, 0, -fv.Value, "", true
+			}
+		}
+	case *ast.ArrayLit:
+		// Only the empty array is a legal literal default; instances
+		// get a fresh array each (see runtime object linking).
+		if len(v.Vals) == 0 {
+			return types.KArr, 0, 0, "", true
+		}
+	}
+	return 0, 0, 0, "", false
+}

@@ -1,0 +1,200 @@
+// Package experiments regenerates every measurement in the paper's
+// evaluation section (Figures 8-11 plus the in-text §6.1 numbers) on
+// the synthetic endpoint suite. Each experiment returns the same rows
+// or series the paper reports; EXPERIMENTS.md records paper-vs-
+// measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/jit"
+	"repro/internal/perflab"
+	"repro/internal/server"
+)
+
+// Quick reduces warmup/measure volume for fast runs (tests, benches).
+var Quick = perflab.Config{WarmupRequests: 30, MeasureRequests: 6}
+
+// Full matches the defaults.
+var Full = perflab.Config{WarmupRequests: 60, MeasureRequests: 15}
+
+// ---------- Figure 8: execution modes ----------
+
+// Fig8Row is one bar of Figure 8.
+type Fig8Row struct {
+	Mode string
+	// CyclesPerReq is the weighted mean cost.
+	CyclesPerReq float64
+	// RelPerf is performance relative to JIT-Region (100 = region).
+	RelPerf float64
+}
+
+// Fig8 measures all four execution modes.
+func Fig8(pc perflab.Config) ([]Fig8Row, error) {
+	modes := []jit.Mode{jit.ModeInterp, jit.ModeTracelet, jit.ModeProfiling, jit.ModeRegion}
+	rows := make([]Fig8Row, 0, len(modes))
+	var regionMean float64
+	for _, m := range modes {
+		cfg := jit.DefaultConfig()
+		cfg.Mode = m
+		r, err := perflab.Measure(cfg, pc)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", m, err)
+		}
+		rows = append(rows, Fig8Row{Mode: m.String(), CyclesPerReq: r.WeightedMean})
+		if m == jit.ModeRegion {
+			regionMean = r.WeightedMean
+		}
+	}
+	for i := range rows {
+		if rows[i].CyclesPerReq > 0 {
+			rows[i].RelPerf = 100 * regionMean / rows[i].CyclesPerReq
+		}
+	}
+	return rows, nil
+}
+
+// ReportFig8 renders the table.
+func ReportFig8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "Figure 8 — relative performance of execution modes (region = 100%%)\n")
+	fmt.Fprintf(w, "%-12s %14s %10s %18s\n", "mode", "cycles/req", "relative", "paper reports")
+	paper := map[string]string{
+		"interp": "12.8%", "tracelet": "82.2%", "profiling": "39.8%", "region": "100%",
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %14.0f %9.1f%% %18s\n", r.Mode, r.CyclesPerReq, r.RelPerf, paper[r.Mode])
+	}
+}
+
+// ---------- Figure 9: startup ----------
+
+// Fig9 runs the server restart timeline.
+func Fig9() (*server.Result, error) {
+	return server.Simulate(server.DefaultConfig())
+}
+
+// ---------- Figure 10: optimization impact ----------
+
+// Fig10Row is one bar of Figure 10.
+type Fig10Row struct {
+	Optimization string
+	SlowdownPct  float64
+	PaperPct     float64
+}
+
+// fig10Variants lists the ablations and the paper's reported numbers.
+func fig10Variants() []struct {
+	name  string
+	paper float64
+	mod   func(*jit.Config)
+} {
+	return []struct {
+		name  string
+		paper float64
+		mod   func(*jit.Config)
+	}{
+		{"Inlining", 7.3, func(c *jit.Config) { c.EnableInlining = false }},
+		{"RCE", 3.4, func(c *jit.Config) { c.EnableRCE = false }},
+		{"Guard Relax.", 1.4, func(c *jit.Config) { c.EnableGuardRelax = false }},
+		{"Method Disp.", 7.2, func(c *jit.Config) { c.EnableMethodDispatch = false }},
+		{"PGO Layout", 2.8, func(c *jit.Config) { c.PGOLayout = false; c.FunctionSort = false }},
+		{"All PGO", 9.0, func(c *jit.Config) {
+			c.EnableMethodDispatch = false
+			c.PGOLayout = false
+			c.FunctionSort = false
+			c.EnableGuardRelax = false
+			c.HugePages = false
+		}},
+		{"Huge Pages", 1.6, func(c *jit.Config) { c.HugePages = false }},
+	}
+}
+
+// Fig10 measures the slowdown from disabling each optimization.
+func Fig10(pc perflab.Config) ([]Fig10Row, error) {
+	base := jit.DefaultConfig()
+	baseline, err := perflab.Measure(base, pc)
+	if err != nil {
+		return nil, fmt.Errorf("fig10 baseline: %w", err)
+	}
+	var rows []Fig10Row
+	for _, v := range fig10Variants() {
+		cfg := jit.DefaultConfig()
+		v.mod(&cfg)
+		r, err := perflab.Measure(cfg, pc)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", v.name, err)
+		}
+		slow := 0.0
+		if baseline.WeightedMean > 0 {
+			slow = (r.WeightedMean/baseline.WeightedMean - 1) * 100
+		}
+		rows = append(rows, Fig10Row{Optimization: v.name, SlowdownPct: slow, PaperPct: v.paper})
+	}
+	return rows, nil
+}
+
+// ReportFig10 renders the table.
+func ReportFig10(w io.Writer, rows []Fig10Row) {
+	fmt.Fprintf(w, "Figure 10 — slowdown from disabling each optimization\n")
+	fmt.Fprintf(w, "%-14s %12s %12s\n", "optimization", "slowdown", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %11.1f%% %11.1f%%\n", r.Optimization, r.SlowdownPct, r.PaperPct)
+	}
+}
+
+// ---------- Figure 11: JITed code size ----------
+
+// Fig11Row is one point of Figure 11.
+type Fig11Row struct {
+	// RelCodeSize is the code budget relative to baseline (1.0 =
+	// unlimited steady-state footprint).
+	RelCodeSize float64
+	// RelPerf is performance relative to the unlimited baseline.
+	RelPerf float64
+}
+
+// Fig11 sweeps the code-cache budget from 10% to 120% of the
+// baseline footprint; bytecode that no longer fits is interpreted.
+func Fig11(pc perflab.Config, fractions []float64) ([]Fig11Row, error) {
+	if fractions == nil {
+		fractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
+	}
+	base := jit.DefaultConfig()
+	baseline, err := perflab.Measure(base, pc)
+	if err != nil {
+		return nil, fmt.Errorf("fig11 baseline: %w", err)
+	}
+	baseBytes := baseline.CodeBytes
+	if baseBytes == 0 {
+		return nil, fmt.Errorf("fig11: baseline produced no JITed code")
+	}
+	var rows []Fig11Row
+	for _, f := range fractions {
+		cfg := jit.DefaultConfig()
+		cfg.CodeCacheLimit = uint64(f * float64(baseBytes))
+		if cfg.CodeCacheLimit == 0 {
+			cfg.CodeCacheLimit = 1
+		}
+		r, err := perflab.Measure(cfg, pc)
+		if err != nil {
+			return nil, fmt.Errorf("fig11 %.0f%%: %w", f*100, err)
+		}
+		rel := 0.0
+		if r.WeightedMean > 0 {
+			rel = 100 * baseline.WeightedMean / r.WeightedMean
+		}
+		rows = append(rows, Fig11Row{RelCodeSize: f, RelPerf: rel})
+	}
+	return rows, nil
+}
+
+// ReportFig11 renders the series.
+func ReportFig11(w io.Writer, rows []Fig11Row) {
+	fmt.Fprintf(w, "Figure 11 — performance vs JITed-code budget (baseline = 100%%)\n")
+	fmt.Fprintf(w, "%12s %12s\n", "code budget", "rel. perf")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%11.0f%% %11.1f%%\n", r.RelCodeSize*100, r.RelPerf)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/perflab"
+)
+
+// TestFig8Shape checks the headline ordering of Figure 8.
+func TestFig8Shape(t *testing.T) {
+	rows, err := experiments.Fig8(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ReportFig8(os.Stderr, rows)
+	rel := map[string]float64{}
+	for _, r := range rows {
+		rel[r.Mode] = r.RelPerf
+	}
+	if !(rel["interp"] < rel["profiling"] && rel["profiling"] < rel["tracelet"] &&
+		rel["tracelet"] < rel["region"]) {
+		t.Errorf("mode ordering wrong: %v (want interp < profiling < tracelet < region)", rel)
+	}
+	if rel["interp"] > 25 {
+		t.Errorf("interpreter too fast: %.1f%% (paper: 12.8%%)", rel["interp"])
+	}
+	if rel["tracelet"] < 65 || rel["tracelet"] > 98 {
+		t.Errorf("tracelet out of band: %.1f%% (paper: 82.2%%)", rel["tracelet"])
+	}
+	if rel["profiling"] < 25 || rel["profiling"] > 65 {
+		t.Errorf("profiling out of band: %.1f%% (paper: 39.8%%)", rel["profiling"])
+	}
+}
+
+// TestFig11Shape checks diminishing returns on code-size budget.
+func TestFig11Shape(t *testing.T) {
+	rows, err := experiments.Fig11(experiments.Quick, []float64{0.1, 0.4, 1.0, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ReportFig11(os.Stderr, rows)
+	byFrac := map[float64]float64{}
+	for _, r := range rows {
+		byFrac[r.RelCodeSize] = r.RelPerf
+	}
+	if byFrac[0.1] >= byFrac[0.4] {
+		t.Errorf("10%% budget (%.1f%%) should be slower than 40%% (%.1f%%)",
+			byFrac[0.1], byFrac[0.4])
+	}
+	if byFrac[0.4] > byFrac[1.0]+3 {
+		t.Errorf("40%% budget (%.1f%%) should not beat full budget (%.1f%%)",
+			byFrac[0.4], byFrac[1.0])
+	}
+	// Diminishing returns: the jump 10->40 dwarfs 100->120.
+	if byFrac[1.2]-byFrac[1.0] > byFrac[0.4]-byFrac[0.1] {
+		t.Errorf("no diminishing returns: 100->120 gain %.1f vs 10->40 gain %.1f",
+			byFrac[1.2]-byFrac[1.0], byFrac[0.4]-byFrac[0.1])
+	}
+}
+
+// TestFig10Directions checks every ablation slows the system down.
+func TestFig10Directions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 is slow")
+	}
+	rows, err := experiments.Fig10(perflab.Config{WarmupRequests: 30, MeasureRequests: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ReportFig10(os.Stderr, rows)
+	for _, r := range rows {
+		if r.SlowdownPct < -2.5 {
+			t.Errorf("disabling %s sped things up by %.1f%%", r.Optimization, -r.SlowdownPct)
+		}
+	}
+}

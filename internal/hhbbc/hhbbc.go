@@ -1,0 +1,281 @@
+// Package hhbbc is the HipHop Bytecode-to-Bytecode Compiler: the
+// ahead-of-time pass that runs whole-function static type inference
+// over HHBC and communicates its results to the runtime by inserting
+// AssertRATL instructions (Section 2.3). The JIT consumes the
+// assertions to avoid runtime guards for statically-known types.
+package hhbbc
+
+import (
+	"repro/internal/hhbc"
+	"repro/internal/types"
+)
+
+// Optimize analyzes and rewrites every function in the unit.
+func Optimize(u *hhbc.Unit) error {
+	for _, f := range u.Funcs {
+		optimizeFunc(u, f)
+	}
+	return hhbc.VerifyUnit(u)
+}
+
+// state is the abstract state at a program point.
+type state struct {
+	locals []types.Type
+	stack  []types.Type
+}
+
+func (s *state) clone() *state {
+	ns := &state{
+		locals: append([]types.Type(nil), s.locals...),
+		stack:  append([]types.Type(nil), s.stack...),
+	}
+	return ns
+}
+
+// merge unions o into s; reports change.
+func (s *state) merge(o *state) bool {
+	changed := false
+	for i := range s.locals {
+		u := s.locals[i].Union(o.locals[i])
+		if u != s.locals[i] {
+			s.locals[i] = u
+			changed = true
+		}
+	}
+	for i := range s.stack {
+		if i < len(o.stack) {
+			u := s.stack[i].Union(o.stack[i])
+			if u != s.stack[i] {
+				s.stack[i] = u
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func optimizeFunc(u *hhbc.Unit, f *hhbc.Func) {
+	if len(f.Instrs) == 0 {
+		return
+	}
+	leaders := findLeaders(f)
+	blockOf := make([]int, len(f.Instrs))
+	var starts []int
+	for pc := range f.Instrs {
+		if leaders[pc] {
+			starts = append(starts, pc)
+		}
+		blockOf[pc] = len(starts) - 1
+	}
+	blockEnd := func(b int) int {
+		if b+1 < len(starts) {
+			return starts[b+1]
+		}
+		return len(f.Instrs)
+	}
+
+	// Entry state.
+	entry := &state{locals: make([]types.Type, f.NumLocals)}
+	for i := range entry.locals {
+		if i < len(f.Params) {
+			entry.locals[i] = types.TCell
+		} else {
+			entry.locals[i] = types.TUninit
+		}
+	}
+	f.ParamTypes = make([]types.Type, len(f.Params))
+	for i := range f.Params {
+		f.ParamTypes[i] = types.TCell
+	}
+
+	in := make([]*state, len(starts))
+	in[0] = entry
+	// Handlers start with an empty stack (Catch pushes).
+	for _, eh := range f.EHTable {
+		b := blockOf[eh.Handler]
+		if in[b] == nil {
+			hs := entry.clone()
+			for i := range hs.locals {
+				hs.locals[i] = types.TCell // handler may see any state
+			}
+			hs.stack = nil
+			in[b] = hs
+		}
+	}
+
+	work := []int{0}
+	seen := map[int]bool{0: true}
+	for _, eh := range f.EHTable {
+		b := blockOf[eh.Handler]
+		if !seen[b] {
+			seen[b] = true
+			work = append(work, b)
+		}
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		seen[b] = false
+		if in[b] == nil {
+			continue
+		}
+		st := in[b].clone()
+		for pc := starts[b]; pc < blockEnd(b); pc++ {
+			succs, fall := transfer(u, f, st, pc)
+			for _, spc := range succs {
+				sb := blockOf[spc]
+				if propagate(in, sb, st) && !seen[sb] {
+					seen[sb] = true
+					work = append(work, sb)
+				}
+			}
+			if !fall {
+				break
+			}
+			if pc+1 < len(f.Instrs) && leaders[pc+1] {
+				sb := blockOf[pc+1]
+				if propagate(in, sb, st) && !seen[sb] {
+					seen[sb] = true
+					work = append(work, sb)
+				}
+				break
+			}
+		}
+	}
+
+	insertAsserts(u, f, starts, blockEnd, in)
+}
+
+func propagate(in []*state, b int, st *state) bool {
+	if in[b] == nil {
+		in[b] = st.clone()
+		return true
+	}
+	return in[b].merge(st)
+}
+
+func findLeaders(f *hhbc.Func) []bool {
+	leaders := make([]bool, len(f.Instrs))
+	leaders[0] = true
+	mark := func(pc int) {
+		if pc >= 0 && pc < len(f.Instrs) {
+			leaders[pc] = true
+		}
+	}
+	for pc, in := range f.Instrs {
+		switch in.Op {
+		case hhbc.OpJmp, hhbc.OpJmpZ, hhbc.OpJmpNZ:
+			mark(int(in.A))
+			mark(pc + 1)
+		case hhbc.OpIterInitL, hhbc.OpIterNext:
+			mark(int(in.B))
+			mark(pc + 1)
+		case hhbc.OpSwitch:
+			for _, t := range f.Switches[in.A].Targets {
+				mark(t)
+			}
+			mark(f.Switches[in.A].Default)
+			mark(pc + 1)
+		case hhbc.OpRetC, hhbc.OpThrow, hhbc.OpFatal:
+			mark(pc + 1)
+		}
+	}
+	for _, eh := range f.EHTable {
+		mark(eh.Handler)
+		mark(eh.Start)
+		mark(eh.End)
+	}
+	return leaders
+}
+
+// insertAsserts adds AssertRATL at block starts for locals whose
+// inferred type is informative and which the block actually reads,
+// then remaps all jump targets.
+func insertAsserts(u *hhbc.Unit, f *hhbc.Func, starts []int, blockEnd func(int) int, in []*state) {
+	type insertion struct {
+		slot int32
+		b, c int32
+	}
+	inserts := make(map[int][]insertion) // old pc -> asserts
+	total := 0
+	for b := range starts {
+		if in[b] == nil {
+			continue
+		}
+		reads := localReads(f, starts[b], blockEnd(b))
+		for slot := range reads {
+			t := in[b].locals[slot]
+			if !informative(t) {
+				continue
+			}
+			eb, ec := u.EncodeRAT(t)
+			inserts[starts[b]] = append(inserts[starts[b]],
+				insertion{slot: int32(slot), b: eb, c: ec})
+			total++
+		}
+	}
+	if total == 0 {
+		return
+	}
+
+	// Rebuild with remapping.
+	newPC := make([]int, len(f.Instrs)+1)
+	var out []hhbc.Instr
+	for pc, instr := range f.Instrs {
+		newPC[pc] = len(out)
+		for _, ins := range inserts[pc] {
+			out = append(out, hhbc.Instr{Op: hhbc.OpAssertRATL, A: ins.slot, B: ins.b, C: ins.c})
+		}
+		out = append(out, instr)
+	}
+	newPC[len(f.Instrs)] = len(out)
+
+	for i := range out {
+		switch out[i].Op {
+		case hhbc.OpJmp, hhbc.OpJmpZ, hhbc.OpJmpNZ:
+			out[i].A = int32(newPC[out[i].A])
+		case hhbc.OpIterInitL, hhbc.OpIterNext:
+			out[i].B = int32(newPC[out[i].B])
+		}
+	}
+	for si := range f.Switches {
+		sw := &f.Switches[si]
+		for ti := range sw.Targets {
+			sw.Targets[ti] = newPC[sw.Targets[ti]]
+		}
+		sw.Default = newPC[sw.Default]
+	}
+	for ei := range f.EHTable {
+		f.EHTable[ei].Start = newPC[f.EHTable[ei].Start]
+		f.EHTable[ei].End = newPC[f.EHTable[ei].End]
+		f.EHTable[ei].Handler = newPC[f.EHTable[ei].Handler]
+	}
+	f.Instrs = out
+}
+
+// informative reports whether an inferred type is worth asserting.
+func informative(t types.Type) bool {
+	if t.IsBottom() || types.TCell.SubtypeOf(t) {
+		return false
+	}
+	// Assertions are most valuable when they pin the kind or prove
+	// uncountedness.
+	return t.IsSpecific() || t.SubtypeOf(types.TUncounted) || t.SubtypeOf(types.TNum)
+}
+
+// localReads collects locals read in [start, end).
+func localReads(f *hhbc.Func, start, end int) map[int]bool {
+	reads := map[int]bool{}
+	for pc := start; pc < end; pc++ {
+		in := f.Instrs[pc]
+		switch in.Op {
+		case hhbc.OpCGetL, hhbc.OpCGetL2, hhbc.OpPushL, hhbc.OpIncDecL,
+			hhbc.OpArrGetL, hhbc.OpArrSetL, hhbc.OpArrAppendL,
+			hhbc.OpArrUnsetL, hhbc.OpAKExistsL:
+			reads[int(in.A)] = true
+		case hhbc.OpIterInitL:
+			reads[int(in.C)] = true
+		}
+	}
+	return reads
+}

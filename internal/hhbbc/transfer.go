@@ -1,0 +1,322 @@
+package hhbbc
+
+import (
+	"repro/internal/hhbc"
+	"repro/internal/types"
+)
+
+// transfer abstractly executes one instruction over st. It returns
+// explicit successor pcs (branch targets) and whether control can
+// fall through to pc+1.
+func transfer(u *hhbc.Unit, f *hhbc.Func, st *state, pc int) (succs []int, fall bool) {
+	in := f.Instrs[pc]
+	push := func(t types.Type) { st.stack = append(st.stack, t) }
+	pop := func() types.Type {
+		if len(st.stack) == 0 {
+			return types.TCell
+		}
+		t := st.stack[len(st.stack)-1]
+		st.stack = st.stack[:len(st.stack)-1]
+		return t
+	}
+	local := func(i int32) types.Type {
+		if int(i) < len(st.locals) {
+			return st.locals[i]
+		}
+		return types.TCell
+	}
+	setLocal := func(i int32, t types.Type) {
+		if int(i) < len(st.locals) {
+			st.locals[i] = t
+		}
+	}
+	cget := func(t types.Type) types.Type {
+		if t.Maybe(types.TUninit) {
+			return types.FromKind(t.Kind()&^types.KUninit | types.KNull)
+		}
+		return t
+	}
+
+	switch in.Op {
+	case hhbc.OpNop, hhbc.OpAssertRATL, hhbc.OpAssertRAStk, hhbc.OpIncProfCounter,
+		hhbc.OpIterFree:
+
+	case hhbc.OpInt:
+		push(types.TInt)
+	case hhbc.OpDouble:
+		push(types.TDbl)
+	case hhbc.OpString:
+		push(types.TStr)
+	case hhbc.OpTrue, hhbc.OpFalse:
+		push(types.TBool)
+	case hhbc.OpNull:
+		push(types.TNull)
+
+	case hhbc.OpPopC:
+		pop()
+	case hhbc.OpDup:
+		t := pop()
+		push(t)
+		push(t)
+
+	case hhbc.OpCGetL:
+		push(cget(local(in.A)))
+	case hhbc.OpCGetL2:
+		top := pop()
+		push(cget(local(in.A)))
+		push(top)
+	case hhbc.OpPopL:
+		setLocal(in.A, pop())
+	case hhbc.OpSetL:
+		setLocal(in.A, st.stack[len(st.stack)-1])
+	case hhbc.OpPushL:
+		push(local(in.A))
+		setLocal(in.A, types.TUninit)
+	case hhbc.OpUnsetL:
+		setLocal(in.A, types.TUninit)
+	case hhbc.OpIsTypeL:
+		push(types.TBool)
+	case hhbc.OpIncDecL:
+		t := local(in.A)
+		var nt types.Type
+		switch {
+		case t.SubtypeOf(types.TInt):
+			nt = types.TInt
+		case t.SubtypeOf(types.TDbl):
+			nt = types.TDbl
+		case t.SubtypeOf(types.TNull.Union(types.TUninit)):
+			nt = types.TInt.Union(types.TNull)
+		default:
+			nt = types.TNum.Union(types.TNull)
+		}
+		setLocal(in.A, nt)
+		if in.B == hhbc.PostInc || in.B == hhbc.PostDec {
+			push(cget(t))
+		} else {
+			push(nt)
+		}
+
+	case hhbc.OpAdd, hhbc.OpSub, hhbc.OpMul:
+		b, a := pop(), pop()
+		switch {
+		case a.SubtypeOf(types.TInt) && b.SubtypeOf(types.TInt):
+			push(types.TInt)
+		case a.SubtypeOf(types.TNum) && b.SubtypeOf(types.TNum):
+			if a.Maybe(types.TDbl) || b.Maybe(types.TDbl) {
+				push(types.TNum)
+			} else {
+				push(types.TInt)
+			}
+		case a.SubtypeOf(types.TArr) && b.SubtypeOf(types.TArr):
+			push(types.TArr)
+		default:
+			push(types.TInitCell)
+		}
+	case hhbc.OpDiv:
+		pop()
+		pop()
+		push(types.TNum)
+	case hhbc.OpMod:
+		pop()
+		pop()
+		push(types.TInt)
+	case hhbc.OpConcat:
+		pop()
+		pop()
+		push(types.TStr)
+	case hhbc.OpNeg:
+		a := pop()
+		if a.SubtypeOf(types.TDbl) {
+			push(types.TDbl)
+		} else if a.SubtypeOf(types.TInt) {
+			push(types.TInt)
+		} else {
+			push(types.TNum)
+		}
+
+	case hhbc.OpGt, hhbc.OpGte, hhbc.OpLt, hhbc.OpLte, hhbc.OpEq, hhbc.OpNeq,
+		hhbc.OpSame, hhbc.OpNSame, hhbc.OpNot, hhbc.OpCastBool:
+		for i := 0; i < in.Op.NumPop(); i++ {
+			pop()
+		}
+		push(types.TBool)
+	case hhbc.OpCastInt:
+		pop()
+		push(types.TInt)
+	case hhbc.OpCastDouble:
+		pop()
+		push(types.TDbl)
+	case hhbc.OpCastString:
+		pop()
+		push(types.TStr)
+
+	case hhbc.OpJmp:
+		return []int{int(in.A)}, false
+	case hhbc.OpJmpZ, hhbc.OpJmpNZ:
+		pop()
+		return []int{int(in.A)}, true
+	case hhbc.OpSwitch:
+		pop()
+		sw := f.Switches[in.A]
+		out := append([]int(nil), sw.Targets...)
+		out = append(out, sw.Default)
+		return out, false
+	case hhbc.OpRetC:
+		pop()
+		return nil, false
+	case hhbc.OpThrow:
+		pop()
+		return nil, false
+	case hhbc.OpCatch:
+		push(types.TObj)
+	case hhbc.OpFatal:
+		return nil, false
+
+	case hhbc.OpNewArray:
+		push(types.ArrOfKind(types.ArrayMixed))
+	case hhbc.OpNewPackedArray:
+		for i := 0; i < int(in.A); i++ {
+			pop()
+		}
+		push(types.ArrOfKind(types.ArrayPacked))
+	case hhbc.OpAddElemC:
+		pop()
+		pop()
+		pop()
+		push(types.TArr)
+	case hhbc.OpAddNewElemC:
+		pop()
+		a := pop()
+		if a.SubtypeOf(types.TArr) {
+			push(a)
+		} else {
+			push(types.TArr)
+		}
+	case hhbc.OpArrIdx:
+		pop()
+		pop()
+		push(types.TInitCell)
+	case hhbc.OpArrGetL:
+		pop()
+		push(types.TInitCell)
+	case hhbc.OpArrSetL:
+		pop()
+		pop()
+		setLocal(in.A, types.TArr)
+	case hhbc.OpArrAppendL:
+		pop()
+		t := local(in.A)
+		if t.SubtypeOf(types.TArr) && t.IsSpecialized() {
+			setLocal(in.A, t)
+		} else {
+			setLocal(in.A, types.TArr)
+		}
+	case hhbc.OpArrUnsetL:
+		pop()
+		setLocal(in.A, types.TArr)
+	case hhbc.OpAKExistsL:
+		pop()
+		push(types.TBool)
+
+	case hhbc.OpIterInitL:
+		return []int{int(in.B)}, true
+	case hhbc.OpIterNext:
+		return []int{int(in.B)}, true
+	case hhbc.OpIterKey:
+		push(types.FromKind(types.KInt | types.KStr))
+	case hhbc.OpIterValue:
+		push(types.TInitCell)
+
+	case hhbc.OpFCallD, hhbc.OpFCallObjMethodD:
+		n := int(in.A)
+		if in.Op == hhbc.OpFCallObjMethodD {
+			n++
+		}
+		for i := 0; i < n; i++ {
+			pop()
+		}
+		push(types.TInitCell)
+	case hhbc.OpFCallBuiltin:
+		for i := 0; i < int(in.A); i++ {
+			pop()
+		}
+		push(builtinResult(u.Strings[in.B]))
+
+	case hhbc.OpNewObjD:
+		push(types.ObjOfClass(u.Strings[in.A], true))
+	case hhbc.OpThis:
+		if f.Class != "" {
+			push(types.ObjOfClass(f.Class, false))
+		} else {
+			push(types.TObj)
+		}
+	case hhbc.OpCGetPropD:
+		pop()
+		push(types.TInitCell)
+	case hhbc.OpSetPropD:
+		v := pop()
+		pop()
+		push(v)
+	case hhbc.OpInstanceOfD:
+		pop()
+		push(types.TBool)
+	case hhbc.OpVerifyParamType:
+		idx := int(in.A)
+		ht := hintType(f.Params[idx])
+		nt := local(in.A).Intersect(ht)
+		if nt.IsBottom() {
+			nt = ht
+		}
+		setLocal(in.A, nt)
+		if idx < len(f.ParamTypes) {
+			f.ParamTypes[idx] = ht
+		}
+	case hhbc.OpPrint:
+		pop()
+		push(types.TInt)
+	}
+	return nil, true
+}
+
+func hintType(p hhbc.Param) types.Type {
+	var t types.Type
+	switch p.TypeHint {
+	case "int":
+		t = types.TInt
+	case "float":
+		t = types.TDbl
+	case "string":
+		t = types.TStr
+	case "bool":
+		t = types.TBool
+	case "array":
+		t = types.TArr
+	case "":
+		return types.TCell
+	default:
+		t = types.ObjOfClass(p.TypeHint, false)
+	}
+	if p.Nullable {
+		t = t.Union(types.TNull)
+	}
+	return t
+}
+
+func builtinResult(name string) types.Type {
+	switch name {
+	case "count", "strlen", "intval", "ord":
+		return types.TInt
+	case "floatval", "sqrt", "floor", "ceil", "round":
+		return types.TDbl
+	case "strval", "implode", "substr", "strtoupper", "strtolower",
+		"strrev", "str_repeat", "chr":
+		return types.TStr
+	case "is_int", "is_float", "is_string", "is_array", "is_bool",
+		"is_null", "is_numeric", "in_array", "array_key_exists":
+		return types.TBool
+	case "array_keys", "array_values":
+		return types.ArrOfKind(types.ArrayPacked)
+	default:
+		return types.TInitCell
+	}
+}

@@ -1,0 +1,90 @@
+package hhbc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders f against u's pools in a format close to the
+// paper's Figure 3 listings.
+func Disassemble(u *Unit, f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".function %s(", f.FullName())
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if p.TypeHint != "" {
+			if p.Nullable {
+				sb.WriteString("?")
+			}
+			sb.WriteString(p.TypeHint + " ")
+		}
+		sb.WriteString("$" + p.Name)
+	}
+	fmt.Fprintf(&sb, ") numLocals=%d {\n", f.NumLocals)
+	for pc, in := range f.Instrs {
+		fmt.Fprintf(&sb, "  %4d: %s\n", pc, FormatInstr(u, f, in))
+	}
+	for _, eh := range f.EHTable {
+		fmt.Fprintf(&sb, "  .try [%d,%d) -> %d\n", eh.Start, eh.End, eh.Handler)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// FormatInstr renders one instruction with pool immediates resolved.
+func FormatInstr(u *Unit, f *Func, in Instr) string {
+	local := func(i int32) string {
+		if int(i) < len(f.LocalName) && f.LocalName[i] != "" {
+			return fmt.Sprintf("L:%d($%s)", i, f.LocalName[i])
+		}
+		return fmt.Sprintf("L:%d", i)
+	}
+	str := func(i int32) string {
+		if int(i) < len(u.Strings) {
+			return fmt.Sprintf("%q", u.Strings[i])
+		}
+		return fmt.Sprintf("str#%d", i)
+	}
+	switch in.Op {
+	case OpInt:
+		return fmt.Sprintf("Int %d", u.Ints[in.A])
+	case OpDouble:
+		return fmt.Sprintf("Double %g", u.Doubles[in.A])
+	case OpString, OpFatal:
+		return fmt.Sprintf("%s %s", in.Op, str(in.A))
+	case OpCGetL, OpCGetL2, OpPopL, OpSetL, OpPushL, OpUnsetL,
+		OpArrGetL, OpArrSetL, OpArrAppendL, OpArrUnsetL, OpAKExistsL:
+		return fmt.Sprintf("%s %s", in.Op, local(in.A))
+	case OpIncDecL:
+		names := [...]string{"PreInc", "PostInc", "PreDec", "PostDec"}
+		return fmt.Sprintf("IncDecL %s %s", local(in.A), names[in.B])
+	case OpAssertRATL:
+		return fmt.Sprintf("AssertRATL %s %s", local(in.A), u.DecodeRAT(in.B, in.C))
+	case OpAssertRAStk:
+		return fmt.Sprintf("AssertRAStk %d %s", in.A, u.DecodeRAT(in.B, in.C))
+	case OpIsTypeL:
+		return fmt.Sprintf("IsTypeL %s %s", local(in.A), u.DecodeRAT(in.B, 0))
+	case OpJmp, OpJmpZ, OpJmpNZ:
+		return fmt.Sprintf("%s -> %d", in.Op, in.A)
+	case OpSwitch:
+		return fmt.Sprintf("Switch table#%d", in.A)
+	case OpIterInitL:
+		return fmt.Sprintf("IterInitL it:%d exit->%d %s", in.A, in.B, local(in.C))
+	case OpIterNext:
+		return fmt.Sprintf("IterNext it:%d body->%d", in.A, in.B)
+	case OpIterKey, OpIterValue, OpIterFree:
+		return fmt.Sprintf("%s it:%d", in.Op, in.A)
+	case OpFCallD, OpFCallBuiltin, OpFCallObjMethodD:
+		return fmt.Sprintf("%s <%d args> %s", in.Op, in.A, str(in.B))
+	case OpNewObjD, OpInstanceOfD, OpCGetPropD, OpSetPropD:
+		return fmt.Sprintf("%s %s", in.Op, str(in.A))
+	case OpNewPackedArray:
+		return fmt.Sprintf("NewPackedArray %d", in.A)
+	case OpVerifyParamType:
+		return fmt.Sprintf("VerifyParamType %d", in.A)
+	default:
+		return in.String()
+	}
+}

@@ -1,0 +1,40 @@
+package hhbc
+
+import "repro/internal/types"
+
+// Repo-authoritative type (RAT) encoding: AssertRATL/AssertRAStk carry
+// a types.Type packed into the B and C immediates.
+//
+//	B = kind bits (low 8) | array kind << 8 | exact-class flag << 10
+//	C = string pool index of the class name + 1, or 0 for none
+const (
+	ratArrShift   = 8
+	ratExactClass = 1 << 10
+)
+
+// EncodeRAT packs t into (B, C) immediates against u's string pool.
+func (u *Unit) EncodeRAT(t types.Type) (int32, int32) {
+	b := int32(t.Kind())
+	b |= int32(t.ArrayKind()) << ratArrShift
+	var c int32
+	if cls, exact := t.Class(); cls != "" {
+		c = u.InternString(cls) + 1
+		if exact {
+			b |= ratExactClass
+		}
+	}
+	return b, c
+}
+
+// DecodeRAT unpacks (B, C) immediates into a Type.
+func (u *Unit) DecodeRAT(b, c int32) types.Type {
+	kind := types.Kind(b & 0xff)
+	ak := types.ArrayKind((b >> ratArrShift) & 3)
+	if c != 0 && kind == types.KObj {
+		return types.ObjOfClass(u.Strings[c-1], b&ratExactClass != 0)
+	}
+	if kind == types.KArr && ak != types.ArrayAny {
+		return types.ArrOfKind(ak)
+	}
+	return types.FromKind(kind)
+}

@@ -1,0 +1,207 @@
+package hhbc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Instr is one decoded bytecode instruction. PC values are indices
+// into Func.Instrs. A/B/C are immediates whose meaning depends on Op
+// (see opcodes.go).
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop, OpTrue, OpFalse, OpNull, OpPopC, OpDup, OpAdd, OpSub, OpMul,
+		OpDiv, OpMod, OpConcat, OpNeg, OpGt, OpGte, OpLt, OpLte, OpEq, OpNeq,
+		OpSame, OpNSame, OpNot, OpRetC, OpThrow, OpCatch, OpNewArray,
+		OpAddElemC, OpAddNewElemC, OpArrIdx, OpThis, OpPrint,
+		OpCastBool, OpCastInt, OpCastDouble, OpCastString:
+		return in.Op.String()
+	case OpIterInitL, OpIterNext:
+		return fmt.Sprintf("%s %d %d %d", in.Op, in.A, in.B, in.C)
+	case OpFCallD, OpFCallBuiltin, OpFCallObjMethodD, OpIncDecL, OpIsTypeL,
+		OpAssertRATL, OpAssertRAStk:
+		return fmt.Sprintf("%s %d %d", in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	}
+}
+
+// Param describes a function parameter.
+type Param struct {
+	Name string
+	// TypeHint is the shallow runtime-checked hint ("" = none). Like
+	// HHVM, only shallow hints are enforced; deeper Hack hints are
+	// discarded by the runtime.
+	TypeHint string
+	Nullable bool
+	// HasDefault + Default: optional parameter default (uncounted
+	// literal kinds only).
+	HasDefault  bool
+	DefaultKind types.Kind
+	DefaultInt  int64
+	DefaultDbl  float64
+	DefaultStr  string
+}
+
+// EHEnt is an exception-handler table entry: bytecode range
+// [Start,End) is protected by the handler at Handler.
+type EHEnt struct {
+	Start, End, Handler int
+}
+
+// SwitchTable is the jump table for OpSwitch: Base + i indexes into
+// Targets, with Default for out-of-range.
+type SwitchTable struct {
+	Base    int64
+	Targets []int
+	Default int
+}
+
+// Func is a compiled guest function or method.
+type Func struct {
+	ID   int // dense unit-wide ID
+	Name string
+	// Class is "" for free functions; methods are named Class::name.
+	Class     string
+	IsMethod  bool
+	Params    []Param
+	NumLocals int // params first, then locals
+	LocalName []string
+	Instrs    []Instr
+	EHTable   []EHEnt
+	Switches  []SwitchTable
+
+	// ParamTypes, inferred by hhbbc, give entry types for each
+	// parameter used by region selectors; nil = unknown (TCell).
+	ParamTypes []types.Type
+}
+
+// HandlerFor returns the innermost handler covering pc, or -1.
+func (f *Func) HandlerFor(pc int) int {
+	best := -1
+	bestSize := 1 << 30
+	for _, eh := range f.EHTable {
+		if pc >= eh.Start && pc < eh.End && eh.End-eh.Start < bestSize {
+			best = eh.Handler
+			bestSize = eh.End - eh.Start
+		}
+	}
+	return best
+}
+
+// FullName returns Class::Name for methods, Name otherwise.
+func (f *Func) FullName() string {
+	if f.Class != "" {
+		return f.Class + "::" + f.Name
+	}
+	return f.Name
+}
+
+// PropDef is a class property definition.
+type PropDef struct {
+	Name        string
+	DefaultKind types.Kind
+	DefaultInt  int64
+	DefaultDbl  float64
+	DefaultStr  string
+}
+
+// ClassDef is the bytecode-level class. The VM links it into a
+// runtime.Class at load time.
+type ClassDef struct {
+	Name    string
+	Parent  string
+	Ifaces  []string
+	Props   []PropDef
+	Methods map[string]int // lowercase method name -> Func.ID
+	HasDtor bool
+}
+
+// Unit is a compiled compilation unit (one source file / program):
+// the deployment artifact produced ahead of time.
+type Unit struct {
+	Funcs   []*Func
+	Classes []*ClassDef
+	// Pools referenced by instruction immediates.
+	Strings []string
+	Ints    []int64
+	Doubles []float64
+
+	// Main is the ID of the pseudo-main function.
+	Main int
+
+	funcByName map[string]int
+	strIndex   map[string]int
+}
+
+// NewUnit returns an empty unit.
+func NewUnit() *Unit {
+	return &Unit{Main: -1, funcByName: map[string]int{}, strIndex: map[string]int{}}
+}
+
+// AddFunc appends f, assigns its ID, and indexes its name.
+func (u *Unit) AddFunc(f *Func) int {
+	f.ID = len(u.Funcs)
+	u.Funcs = append(u.Funcs, f)
+	u.funcByName[strings.ToLower(f.FullName())] = f.ID
+	return f.ID
+}
+
+// FuncByName resolves a (case-insensitive) function name.
+func (u *Unit) FuncByName(name string) (*Func, bool) {
+	id, ok := u.funcByName[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return u.Funcs[id], true
+}
+
+// InternString adds s to the string pool, deduplicated.
+func (u *Unit) InternString(s string) int32 {
+	if i, ok := u.strIndex[s]; ok {
+		return int32(i)
+	}
+	u.strIndex[s] = len(u.Strings)
+	u.Strings = append(u.Strings, s)
+	return int32(len(u.Strings) - 1)
+}
+
+// InternInt and InternDouble add literals to the pools.
+func (u *Unit) InternInt(v int64) int32 {
+	for i, x := range u.Ints {
+		if x == v {
+			return int32(i)
+		}
+	}
+	u.Ints = append(u.Ints, v)
+	return int32(len(u.Ints) - 1)
+}
+
+func (u *Unit) InternDouble(v float64) int32 {
+	for i, x := range u.Doubles {
+		if x == v {
+			return int32(i)
+		}
+	}
+	u.Doubles = append(u.Doubles, v)
+	return int32(len(u.Doubles) - 1)
+}
+
+// ReindexNames rebuilds the name index (after decoding).
+func (u *Unit) ReindexNames() {
+	u.funcByName = make(map[string]int, len(u.Funcs))
+	for _, f := range u.Funcs {
+		u.funcByName[strings.ToLower(f.FullName())] = f.ID
+	}
+	u.strIndex = make(map[string]int, len(u.Strings))
+	for i, s := range u.Strings {
+		u.strIndex[s] = i
+	}
+}

@@ -1,0 +1,164 @@
+package hhbc
+
+import "fmt"
+
+// VerifyFunc checks structural invariants of a function's bytecode:
+// jump targets in range, stack depth consistent along all paths, pool
+// indices valid. The emitter output and decoded repo units are both
+// verified before execution.
+func VerifyFunc(u *Unit, f *Func) error {
+	n := len(f.Instrs)
+	if n == 0 {
+		return fmt.Errorf("%s: empty function", f.FullName())
+	}
+	last := f.Instrs[n-1].Op
+	if !last.IsUnconditionalExit() {
+		return fmt.Errorf("%s: control can fall off the end (%s)", f.FullName(), last)
+	}
+
+	checkTarget := func(pc int, t int32) error {
+		if t < 0 || int(t) >= n {
+			return fmt.Errorf("%s: pc %d: jump target %d out of range", f.FullName(), pc, t)
+		}
+		return nil
+	}
+
+	// depth[pc] = stack depth at entry, -1 unknown. Worklist walk.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	type workItem struct{ pc, d int }
+	work := []workItem{{0, 0}}
+	for _, eh := range f.EHTable {
+		if eh.Handler < 0 || eh.Handler >= n {
+			return fmt.Errorf("%s: bad EH handler %d", f.FullName(), eh.Handler)
+		}
+		// Handlers start with Catch, which pushes the exception onto
+		// an empty stack.
+		work = append(work, workItem{eh.Handler, 0})
+	}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		pc, d := it.pc, it.d
+		for {
+			if depth[pc] >= 0 {
+				if depth[pc] != d {
+					return fmt.Errorf("%s: pc %d: inconsistent stack depth %d vs %d",
+						f.FullName(), pc, depth[pc], d)
+				}
+				break
+			}
+			depth[pc] = d
+			in := f.Instrs[pc]
+			pops := in.Op.NumPop()
+			if pops < 0 {
+				switch in.Op {
+				case OpFCallD, OpFCallBuiltin:
+					pops = int(in.A)
+				case OpFCallObjMethodD:
+					pops = int(in.A) + 1
+				case OpNewPackedArray:
+					pops = int(in.A)
+				}
+			}
+			if d < pops {
+				return fmt.Errorf("%s: pc %d (%s): stack underflow (depth %d, pops %d)",
+					f.FullName(), pc, in.Op, d, pops)
+			}
+			d = d - pops + in.Op.NumPush()
+			if err := checkPools(u, f, pc, in); err != nil {
+				return err
+			}
+			switch in.Op {
+			case OpJmp:
+				if err := checkTarget(pc, in.A); err != nil {
+					return err
+				}
+				work = append(work, workItem{int(in.A), d})
+			case OpJmpZ, OpJmpNZ:
+				if err := checkTarget(pc, in.A); err != nil {
+					return err
+				}
+				work = append(work, workItem{int(in.A), d})
+			case OpIterInitL:
+				if err := checkTarget(pc, in.B); err != nil {
+					return err
+				}
+				work = append(work, workItem{int(in.B), d})
+			case OpIterNext:
+				if err := checkTarget(pc, in.B); err != nil {
+					return err
+				}
+				work = append(work, workItem{int(in.B), d})
+			case OpSwitch:
+				if int(in.A) >= len(f.Switches) {
+					return fmt.Errorf("%s: pc %d: bad switch table", f.FullName(), pc)
+				}
+				sw := f.Switches[in.A]
+				for _, t := range sw.Targets {
+					if err := checkTarget(pc, int32(t)); err != nil {
+						return err
+					}
+					work = append(work, workItem{t, d})
+				}
+				if err := checkTarget(pc, int32(sw.Default)); err != nil {
+					return err
+				}
+				work = append(work, workItem{sw.Default, d})
+			}
+			if in.Op.IsUnconditionalExit() {
+				break
+			}
+			pc++
+			if pc >= n {
+				return fmt.Errorf("%s: fell off end at pc %d", f.FullName(), pc)
+			}
+		}
+	}
+	return nil
+}
+
+func checkPools(u *Unit, f *Func, pc int, in Instr) error {
+	bad := func(what string) error {
+		return fmt.Errorf("%s: pc %d (%s): bad %s index %d", f.FullName(), pc, in.Op, what, in.A)
+	}
+	switch in.Op {
+	case OpInt:
+		if int(in.A) >= len(u.Ints) {
+			return bad("int pool")
+		}
+	case OpDouble:
+		if int(in.A) >= len(u.Doubles) {
+			return bad("double pool")
+		}
+	case OpString, OpFatal, OpNewObjD, OpInstanceOfD, OpCGetPropD, OpSetPropD:
+		if int(in.A) >= len(u.Strings) {
+			return bad("string pool")
+		}
+	case OpFCallD, OpFCallBuiltin, OpFCallObjMethodD:
+		if int(in.B) >= len(u.Strings) {
+			return fmt.Errorf("%s: pc %d: bad name index %d", f.FullName(), pc, in.B)
+		}
+	case OpCGetL, OpCGetL2, OpPopL, OpSetL, OpPushL, OpUnsetL, OpIncDecL,
+		OpArrGetL, OpArrSetL, OpArrAppendL, OpArrUnsetL, OpAKExistsL, OpAssertRATL:
+		if int(in.A) >= f.NumLocals {
+			return bad("local")
+		}
+	}
+	return nil
+}
+
+// VerifyUnit verifies every function.
+func VerifyUnit(u *Unit) error {
+	for _, f := range u.Funcs {
+		if err := VerifyFunc(u, f); err != nil {
+			return err
+		}
+	}
+	if u.Main < 0 || u.Main >= len(u.Funcs) {
+		return fmt.Errorf("unit has no main (%d)", u.Main)
+	}
+	return nil
+}

@@ -1,0 +1,434 @@
+package hhir
+
+import (
+	"math"
+
+	"repro/internal/hhbc"
+	"repro/internal/interp"
+	"repro/internal/profile"
+	"repro/internal/region"
+	"repro/internal/types"
+)
+
+// BuildConfig selects the lowering mode and optimizations.
+type BuildConfig struct {
+	// Profiling inserts ProfCount/ProfCallSite instrumentation and,
+	// per Section 4.1, skips the most expensive optimizations.
+	Profiling bool
+	// Counter is the profile counter for profiling translations.
+	Counter profile.TransID
+
+	// EnableInlining turns partial inlining on (optimized mode).
+	EnableInlining bool
+	// EnableMethodDispatch turns profile-guided devirtualization on.
+	EnableMethodDispatch bool
+	// DisableInlineCache additionally removes inline caching (the
+	// paper's Figure 10 "method dispatch" ablation disables both).
+	DisableInlineCache bool
+	// Counters supplies call-target profiles in optimized mode.
+	Counters *profile.Counters
+	// RegionOf returns a callee's region for inlining (nil to decline).
+	RegionOf func(f *hhbc.Func, argTypes []types.Type) *region.Desc
+
+	// MaxInlineInstrs caps inlinable callee size.
+	MaxInlineInstrs int
+	// MaxInlineDepth caps nesting.
+	MaxInlineDepth int
+}
+
+// builder lowers one region into HHIR.
+type builder struct {
+	cfg  BuildConfig
+	unit *hhbc.Unit
+	env  *interp.Env
+	fn   *hhbc.Func
+	out  *Unit
+
+	// rc is the region being lowered; partial inlining swaps in the
+	// callee's region context and restores afterwards.
+	rc regionCtx
+
+	// per-block lowering state
+	cur        *Block
+	stack      []*SSATmp
+	localTypes map[int]types.Type
+	iterKinds  map[int64]types.ArrayKind
+
+	// inline context stack (innermost last; nil entries impossible).
+	inlines []*inlineState
+	// extraSlots allocates extended-frame local slots for inlined
+	// callees, starting at fn.NumLocals.
+	extraSlots int
+
+	// current bytecode pc (for exits)
+	bcPC int
+}
+
+// regionCtx is the lowering context for one region (caller's or an
+// inlined callee's).
+type regionCtx struct {
+	desc *region.Desc
+	// hblocks maps region-block index -> HHIR block.
+	hblocks []*Block
+	// chainNext maps region-block index -> next chain member (-1 none).
+	chainNext []int
+	// entryOf maps bytecode pc -> head region-block index.
+	entryOf map[int]int
+}
+
+func newRegionCtx(out *Unit, desc *region.Desc) regionCtx {
+	rc := regionCtx{desc: desc, entryOf: map[int]int{}}
+	rc.hblocks = make([]*Block, len(desc.Blocks))
+	rc.chainNext = make([]int, len(desc.Blocks))
+	for i := range rc.chainNext {
+		rc.chainNext[i] = -1
+	}
+	for _, chain := range desc.Chains {
+		rc.entryOf[desc.Blocks[chain[0]].Start] = chain[0]
+		for k := 0; k+1 < len(chain); k++ {
+			rc.chainNext[chain[k]] = chain[k+1]
+		}
+	}
+	for i, rb := range desc.Blocks {
+		hb := out.NewBlock(rb.Start)
+		hb.Weight = desc.Weight[i]
+		for d := 0; d < rb.EntryStackDepth; d++ {
+			p := out.NewTmp(types.TInitCell)
+			p.DefBlock = hb
+			hb.Params = append(hb.Params, p)
+		}
+		rc.hblocks[i] = hb
+	}
+	return rc
+}
+
+type inlineState struct {
+	ctx      *InlineCtx
+	callee   *hhbc.Func
+	slotBase int
+	retBlock *Block // merge block; param 0 = return value
+}
+
+// Build lowers desc to HHIR.
+func Build(u *hhbc.Unit, env *interp.Env, desc *region.Desc, cfg BuildConfig) (*Unit, error) {
+	if cfg.MaxInlineInstrs == 0 {
+		cfg.MaxInlineInstrs = 60
+	}
+	if cfg.MaxInlineDepth == 0 {
+		cfg.MaxInlineDepth = 2
+	}
+	fn := desc.Entry().Func
+	b := &builder{
+		cfg: cfg, unit: u, env: env, fn: fn,
+		out: NewUnit(fn),
+	}
+	b.extraSlots = fn.NumLocals
+	b.rc = newRegionCtx(b.out, desc)
+	if len(b.rc.hblocks) > 0 {
+		b.out.Entry = b.rc.hblocks[0]
+	}
+
+	for i := range desc.Blocks {
+		if err := b.lowerRegionBlock(i); err != nil {
+			return nil, err
+		}
+	}
+	b.out.ExtFrameSlots = b.extraSlots
+	b.out.RecomputePreds()
+	markColdBlocks(b.out)
+	return b.out, nil
+}
+
+// markColdBlocks hints blocks by weight for hot/cold splitting.
+func markColdBlocks(u *Unit) {
+	var max uint64
+	for _, b := range u.Blocks {
+		if b.Weight > max {
+			max = b.Weight
+		}
+	}
+	for _, b := range u.Blocks {
+		switch {
+		case max > 0 && b.Weight*10 < max:
+			b.Hint = HintCold
+		case b.Weight == max && max > 0:
+			b.Hint = HintHot
+		}
+	}
+}
+
+// emit appends an instruction to the current block.
+func (b *builder) emit(in *Instr) *Instr {
+	in.Block = b.cur
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+func (b *builder) def(op Opcode, t types.Type, args ...*SSATmp) *SSATmp {
+	dst := b.out.NewTmp(t)
+	in := &Instr{Op: op, Dst: dst, Args: args}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+// exitDesc snapshots the current frame state for a side exit.
+func (b *builder) exitDesc(bcOff int, isCatch bool) *ExitDesc {
+	ex := &ExitDesc{BCOff: bcOff, IsCatch: isCatch,
+		Stack: append([]*SSATmp(nil), b.stack...)}
+	if n := len(b.inlines); n > 0 {
+		ex.Inline = b.inlines[n-1].ctx
+	}
+	return ex
+}
+
+// catchExit is attached to throwing ops.
+func (b *builder) catchExit() *ExitDesc { return b.exitDesc(b.bcPC, true) }
+
+func (b *builder) push(t *SSATmp) { b.stack = append(b.stack, t) }
+func (b *builder) pop() *SSATmp {
+	t := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	return t
+}
+func (b *builder) top() *SSATmp { return b.stack[len(b.stack)-1] }
+
+func (b *builder) localType(slot int) types.Type {
+	if t, ok := b.localTypes[slot]; ok {
+		return t
+	}
+	return types.TCell
+}
+
+func (b *builder) setLocalType(slot int, t types.Type) { b.localTypes[slot] = t }
+
+// ldLoc loads a local with its known type.
+func (b *builder) ldLoc(slot int) *SSATmp {
+	t := b.localType(slot)
+	dst := b.out.NewTmp(cgetTypeB(t))
+	in := &Instr{Op: LdLoc, Dst: dst, I64: int64(slot)}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+func cgetTypeB(t types.Type) types.Type {
+	if t.Maybe(types.TUninit) {
+		return types.FromKind(t.Kind()&^types.KUninit | types.KNull)
+	}
+	return t
+}
+
+// stLoc stores a value into a local and updates the tracked type.
+func (b *builder) stLoc(slot int, v *SSATmp) {
+	b.emit(&Instr{Op: StLoc, I64: int64(slot), Args: []*SSATmp{v}})
+	b.setLocalType(slot, v.Type)
+}
+
+// lowerRegionBlock lowers region block ri at the top level.
+func (b *builder) lowerRegionBlock(ri int) error {
+	b.cur = b.rc.hblocks[ri]
+	b.stack = append([]*SSATmp(nil), b.rc.hblocks[ri].Params...)
+	b.localTypes = map[int]types.Type{}
+	b.iterKinds = map[int64]types.ArrayKind{}
+	b.inlines = nil
+	return b.lowerBlockBody(ri)
+}
+
+// lowerBlockBody emits guards and instructions for region block ri of
+// the current region context (caller or inlined callee).
+func (b *builder) lowerBlockBody(ri int) error {
+	rb := b.rc.desc.Blocks[ri]
+
+	// Emit guards. Interior chain members branch to the next chain
+	// member on failure; the last falls back to a side exit. The
+	// region entry's preconditions are enforced by the dispatcher (or
+	// proven from argument types when inlined), so they lower to
+	// asserts.
+	isEntry := ri == 0
+	b.bcPC = rb.Start
+	for _, g := range rb.Preconds {
+		b.lowerGuard(ri, rb, g, isEntry)
+	}
+	if b.cfg.Profiling && rb.ProfCounter >= 0 {
+		b.emit(&Instr{Op: ProfCount, I64: int64(rb.ProfCounter)})
+	}
+
+	// Lower the body.
+	fn := b.curFn()
+	for pc := rb.Start; pc < rb.End(); pc++ {
+		b.bcPC = pc
+		done, err := b.lowerInstr(fn.Instrs[pc], pc, ri)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil // terminator emitted
+		}
+	}
+	// Fell off the end of the block: continue at End().
+	b.jumpToPC(rb.End(), ri)
+	return nil
+}
+
+// lowerGuard emits one precondition check.
+func (b *builder) lowerGuard(ri int, rb *region.Block, g region.Guard, isEntry bool) {
+	failTo := b.rc.chainNext[ri]
+	switch g.Loc.Kind {
+	case region.LocLocal:
+		slot := b.slot(int32(g.Loc.Slot))
+		if isEntry || types.TCell.SubtypeOf(g.Type) {
+			// Dispatcher-checked, inline-proven, or vacuous: assert.
+			b.setLocalType(slot, g.Type)
+			return
+		}
+		in := &Instr{Op: GuardLoc, I64: int64(slot), TypeParam: g.Type}
+		if failTo >= 0 {
+			in.Taken = b.rc.hblocks[failTo]
+			in.TakenArgs = append([]*SSATmp(nil), b.stack...)
+		} else {
+			in.Exit = b.exitDesc(rb.Start, false)
+		}
+		b.emit(in)
+		b.setLocalType(slot, g.Type)
+	case region.LocStack:
+		d := g.Loc.Slot
+		if d >= len(b.stack) {
+			return
+		}
+		v := b.stack[d]
+		if v.Type.SubtypeOf(g.Type) {
+			return
+		}
+		if isEntry {
+			// Entry stack slots come from the frame: load + assert.
+			b.stack[d] = b.def(AssertType, g.Type, v)
+			return
+		}
+		dst := b.out.NewTmp(g.Type)
+		in := &Instr{Op: CheckType, Dst: dst, Args: []*SSATmp{v}, TypeParam: g.Type}
+		dst.Def = in
+		if failTo >= 0 {
+			in.Taken = b.rc.hblocks[failTo]
+			in.TakenArgs = append([]*SSATmp(nil), b.stack...)
+		} else {
+			in.Exit = b.exitDesc(rb.Start, false)
+		}
+		b.emit(in)
+		b.stack[d] = dst
+	}
+}
+
+// jumpToPC wires control to the region block (chain) covering pc in
+// the current region context, or leaves the region: a ReqBind for the
+// outer region, a side exit (with frame materialization) from inlined
+// code.
+func (b *builder) jumpToPC(pc int, fromRI int) {
+	if hi, ok := b.rc.entryOf[pc]; ok {
+		target := b.pickChainTarget(hi)
+		if b.rc.desc.Blocks[target].EntryStackDepth == len(b.stack) {
+			b.emit(&Instr{Op: Jmp, Next: b.rc.hblocks[target],
+				NextArgs: append([]*SSATmp(nil), b.stack...)})
+			return
+		}
+	}
+	if len(b.inlines) > 0 {
+		// The callee region does not cover pc: materialize the callee
+		// frame and continue in the interpreter.
+		b.emit(&Instr{Op: SideExit, Exit: b.exitDesc(pc, false)})
+		return
+	}
+	b.emit(&Instr{Op: ReqBind, I64: int64(pc), Exit: b.exitDesc(pc, false)})
+}
+
+// pickChainTarget returns the first chain member at the target pc
+// whose preconditions are satisfied by the current known types; if
+// none provably match, the chain head (runtime checks cascade).
+func (b *builder) pickChainTarget(head int) int {
+	start := b.rc.desc.Blocks[head].Start
+	for _, chain := range b.rc.desc.Chains {
+		if b.rc.desc.Blocks[chain[0]].Start != start {
+			continue
+		}
+		for _, ci := range chain {
+			if b.precondsSatisfied(b.rc.desc.Blocks[ci]) {
+				return ci
+			}
+		}
+		return chain[0]
+	}
+	return head
+}
+
+func (b *builder) precondsSatisfied(rb *region.Block) bool {
+	for _, g := range rb.Preconds {
+		switch g.Loc.Kind {
+		case region.LocLocal:
+			if !b.localType(g.Loc.Slot).SubtypeOf(g.Type) {
+				return false
+			}
+		case region.LocStack:
+			if g.Loc.Slot >= len(b.stack) || !b.stack[g.Loc.Slot].Type.SubtypeOf(g.Type) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// constInt etc. emit constants.
+func (b *builder) constInt(v int64) *SSATmp {
+	dst := b.out.NewTmp(types.TInt)
+	in := &Instr{Op: DefConstInt, Dst: dst, I64: v}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+func (b *builder) constDbl(v float64) *SSATmp {
+	dst := b.out.NewTmp(types.TDbl)
+	in := &Instr{Op: DefConstDbl, Dst: dst, I64: int64(math.Float64bits(v))}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+func (b *builder) constBool(v bool) *SSATmp {
+	dst := b.out.NewTmp(types.TBool)
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	in := &Instr{Op: DefConstBool, Dst: dst, I64: n}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+func (b *builder) constNull() *SSATmp {
+	dst := b.out.NewTmp(types.TNull)
+	in := &Instr{Op: DefConstNull, Dst: dst}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+func (b *builder) constStr(s string) *SSATmp {
+	dst := b.out.NewTmp(types.TStr)
+	in := &Instr{Op: DefConstStr, Dst: dst, Str: s}
+	dst.Def = in
+	b.emit(in)
+	return dst
+}
+
+func (b *builder) incRef(v *SSATmp) {
+	if v.Type.MaybeCounted() {
+		b.emit(&Instr{Op: IncRef, Args: []*SSATmp{v}})
+	}
+}
+
+func (b *builder) decRef(v *SSATmp) {
+	if v.Type.MaybeCounted() {
+		b.emit(&Instr{Op: DecRef, Args: []*SSATmp{v}})
+	}
+}

@@ -1,0 +1,176 @@
+package hhir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hhbc"
+	"repro/internal/hhir"
+	"repro/internal/interp"
+	"repro/internal/region"
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+type fixedSource struct{ locals map[int]types.Type }
+
+func (s fixedSource) LocalType(slot int) types.Type {
+	if t, ok := s.locals[slot]; ok {
+		return t
+	}
+	return types.TUninit
+}
+func (s fixedSource) StackType(int) types.Type { return types.TCell }
+
+// buildFor compiles src and lowers a live region of fn (entry) with
+// the given local types.
+func buildFor(t *testing.T, src, fn string, locals map[int]types.Type, passes hhir.PassConfig) *hhir.Unit {
+	t.Helper()
+	unit, err := core.Compile(src, core.CompileOptions{SkipHHBBC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := interp.NewEnv(unit, runtime.NewHeap(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := unit.FuncByName(fn)
+	if !ok {
+		t.Fatalf("no function %s", fn)
+	}
+	blk := region.Select(unit, f, 0, 0, fixedSource{locals}, region.ModeLive, 0)
+	desc := region.NewDesc(blk)
+	hu, err := hhir.Build(unit, env, desc, hhir.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hhir.Optimize(hu, passes)
+	return hu
+}
+
+func countOps(u *hhir.Unit, op hhir.Opcode) int {
+	n := 0
+	for _, b := range u.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestRCEEliminatesCountPattern reproduces the paper's Figure 6: the
+// IncRef/DecRef pair around CountArray must be eliminated by RCE.
+func TestRCEEliminatesCountPattern(t *testing.T) {
+	src := `function f($arr) { $size = count($arr); return $size; } echo f([1]);`
+	locals := map[int]types.Type{0: types.ArrOfKind(types.ArrayPacked)}
+
+	without := buildFor(t, src, "f", locals, hhir.PassConfig{Simplify: true, DCE: true})
+	with := buildFor(t, src, "f", locals, hhir.AllPasses)
+
+	if countOps(without, hhir.IncRef) == 0 {
+		t.Fatal("expected an IncRef before RCE (the CGetL of $arr)")
+	}
+	if got, had := countOps(with, hhir.IncRef), countOps(without, hhir.IncRef); got >= had {
+		t.Errorf("RCE eliminated nothing: %d -> %d IncRefs", had, got)
+	}
+	if countOps(with, hhir.CountArray) != 1 {
+		t.Error("count() was not specialized to CountArray")
+	}
+}
+
+// TestRCEKeepsObservedPairs: an IncRef that a call can observe must
+// not be eliminated.
+func TestRCEKeepsObservedPairs(t *testing.T) {
+	src := `function g($arr) { other($arr); return count($arr); }
+function other($a) { return 0; }
+echo g([1]);`
+	locals := map[int]types.Type{0: types.ArrOfKind(types.ArrayPacked)}
+	u := buildFor(t, src, "g", locals, hhir.AllPasses)
+	// The IncRef feeding the call argument must survive (the callee
+	// consumes the reference).
+	if countOps(u, hhir.IncRef) == 0 {
+		t.Error("RCE removed the call argument's IncRef")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	src := `function h() { return 2 * 3 + 4; } echo h();`
+	// Disable the AST folder so the JIT-level folding is what's
+	// under test.
+	unit, err := core.Compile(src, core.CompileOptions{SkipASTOpt: true, SkipHHBBC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := interp.NewEnv(unit, runtime.NewHeap(), nil)
+	f, _ := unit.FuncByName("h")
+	blk := region.Select(unit, f, 0, 0, fixedSource{nil}, region.ModeLive, 0)
+	hu, err := hhir.Build(unit, env, region.NewDesc(blk), hhir.BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hhir.Optimize(hu, hhir.AllPasses)
+	if n := countOps(hu, hhir.AddInt) + countOps(hu, hhir.MulInt); n != 0 {
+		t.Errorf("constant arithmetic not folded (%d ops left):\n%s", n, hu)
+	}
+}
+
+func TestLoadElimRemovesRedundantLoads(t *testing.T) {
+	src := `function k($x) { $y = $x + 1; $z = $x + 2; return $y + $z; } echo k(1);`
+	locals := map[int]types.Type{0: types.TInt}
+	u := buildFor(t, src, "k", locals, hhir.AllPasses)
+	// $x is loaded once; later reads forward the first load. Locals
+	// $y/$z forward their stores entirely.
+	loads := countOps(u, hhir.LdLoc)
+	if loads > 1 {
+		t.Errorf("load elimination left %d LdLocs:\n%s", loads, u)
+	}
+}
+
+func TestGVNDeduplicates(t *testing.T) {
+	src := `function m($x) { return ($x * 3) + ($x * 3); } echo m(2);`
+	locals := map[int]types.Type{0: types.TInt}
+	without := buildFor(t, src, "m", locals, hhir.PassConfig{Simplify: true, DCE: true, LoadElim: true})
+	with := buildFor(t, src, "m", locals, hhir.AllPasses)
+	if countOps(with, hhir.MulInt) >= countOps(without, hhir.MulInt) {
+		t.Errorf("GVN did not deduplicate: %d vs %d MulInts",
+			countOps(with, hhir.MulInt), countOps(without, hhir.MulInt))
+	}
+}
+
+func TestTypeSpecializedArith(t *testing.T) {
+	src := `function a($x, $y) { return $x + $y; } echo a(1, 2);`
+	intCase := buildFor(t, src, "a",
+		map[int]types.Type{0: types.TInt, 1: types.TInt}, hhir.AllPasses)
+	if countOps(intCase, hhir.AddInt) != 1 || countOps(intCase, hhir.BinopGeneric) != 0 {
+		t.Errorf("int+int not specialized:\n%s", intCase)
+	}
+	dblCase := buildFor(t, src, "a",
+		map[int]types.Type{0: types.TDbl, 1: types.TInt}, hhir.AllPasses)
+	if countOps(dblCase, hhir.AddDbl) != 1 {
+		t.Errorf("dbl+int not specialized to AddDbl:\n%s", dblCase)
+	}
+}
+
+func TestGuardsBecomeAssertsAtEntry(t *testing.T) {
+	// Entry preconditions are dispatcher-checked: the translation body
+	// must not re-check them.
+	src := `function n($x) { return $x + 1; } echo n(1);`
+	u := buildFor(t, src, "n", map[int]types.Type{0: types.TInt}, hhir.PassConfig{})
+	if countOps(u, hhir.GuardLoc) != 0 {
+		t.Errorf("entry guards were emitted as runtime checks:\n%s", u)
+	}
+}
+
+func TestUnitPrinting(t *testing.T) {
+	src := `function p($x) { return $x; } echo p(1);`
+	u := buildFor(t, src, "p", map[int]types.Type{0: types.TInt}, hhir.PassConfig{})
+	s := u.String()
+	if !strings.Contains(s, "HHIR unit for p") || !strings.Contains(s, "Ret") {
+		t.Errorf("printer output suspicious:\n%s", s)
+	}
+}
+
+var _ = hhbc.OpNop

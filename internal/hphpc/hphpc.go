@@ -1,0 +1,355 @@
+// Package hphpc implements the AST-level ahead-of-time optimizations
+// inherited from the HipHop compiler: constant folding and
+// propagation of literal expressions, algebraic simplification, and
+// dead-branch elimination on constant conditions (Section 2.3).
+package hphpc
+
+import (
+	"math"
+
+	"repro/internal/ast"
+)
+
+// Optimize rewrites prog in place.
+func Optimize(prog *ast.Program) {
+	for _, f := range prog.Funcs {
+		f.Body = optStmts(f.Body)
+	}
+	for _, c := range prog.Classes {
+		for _, m := range c.Methods {
+			m.Body = optStmts(m.Body)
+		}
+	}
+	prog.Main = optStmts(prog.Main)
+}
+
+func optStmts(list []ast.Stmt) []ast.Stmt {
+	var out []ast.Stmt
+	for _, s := range list {
+		out = append(out, optStmt(s)...)
+	}
+	return out
+}
+
+// optStmt returns the replacement statements (possibly eliminating or
+// flattening s).
+func optStmt(s ast.Stmt) []ast.Stmt {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		st.E = Fold(st.E)
+		return []ast.Stmt{st}
+	case *ast.Echo:
+		for i := range st.Args {
+			st.Args[i] = Fold(st.Args[i])
+		}
+		return []ast.Stmt{st}
+	case *ast.Return:
+		if st.E != nil {
+			st.E = Fold(st.E)
+		}
+		return []ast.Stmt{st}
+	case *ast.If:
+		st.Cond = Fold(st.Cond)
+		st.Then = optStmts(st.Then)
+		st.Else = optStmts(st.Else)
+		// Dead-branch elimination on constant conditions.
+		if b, ok := constBool(st.Cond); ok {
+			if b {
+				return st.Then
+			}
+			return st.Else
+		}
+		return []ast.Stmt{st}
+	case *ast.While:
+		st.Cond = Fold(st.Cond)
+		if b, ok := constBool(st.Cond); ok && !b {
+			return nil
+		}
+		st.Body = optStmts(st.Body)
+		return []ast.Stmt{st}
+	case *ast.For:
+		for i := range st.Init {
+			st.Init[i] = Fold(st.Init[i])
+		}
+		if st.Cond != nil {
+			st.Cond = Fold(st.Cond)
+		}
+		for i := range st.Step {
+			st.Step[i] = Fold(st.Step[i])
+		}
+		st.Body = optStmts(st.Body)
+		return []ast.Stmt{st}
+	case *ast.Foreach:
+		st.Arr = Fold(st.Arr)
+		st.Body = optStmts(st.Body)
+		return []ast.Stmt{st}
+	case *ast.Throw:
+		st.E = Fold(st.E)
+		return []ast.Stmt{st}
+	case *ast.Try:
+		st.Body = optStmts(st.Body)
+		for i := range st.Catches {
+			st.Catches[i].Body = optStmts(st.Catches[i].Body)
+		}
+		return []ast.Stmt{st}
+	case *ast.Switch:
+		st.Subject = Fold(st.Subject)
+		for i := range st.Cases {
+			st.Cases[i].Value = Fold(st.Cases[i].Value)
+			st.Cases[i].Body = optStmts(st.Cases[i].Body)
+		}
+		st.Default = optStmts(st.Default)
+		return []ast.Stmt{st}
+	default:
+		return []ast.Stmt{s}
+	}
+}
+
+func constBool(e ast.Expr) (bool, bool) {
+	switch v := e.(type) {
+	case *ast.BoolLit:
+		return v.Value, true
+	case *ast.IntLit:
+		return v.Value != 0, true
+	case *ast.FloatLit:
+		return v.Value != 0, true
+	case *ast.StringLit:
+		return v.Value != "" && v.Value != "0", true
+	case *ast.NullLit:
+		return false, true
+	}
+	return false, false
+}
+
+// Fold recursively constant-folds an expression.
+func Fold(e ast.Expr) ast.Expr {
+	switch v := e.(type) {
+	case *ast.Binop:
+		v.L = Fold(v.L)
+		v.R = Fold(v.R)
+		return foldBinop(v)
+	case *ast.Unop:
+		v.E = Fold(v.E)
+		return foldUnop(v)
+	case *ast.Ternary:
+		v.Cond = Fold(v.Cond)
+		if v.Then != nil {
+			v.Then = Fold(v.Then)
+		}
+		v.Else = Fold(v.Else)
+		if b, ok := constBool(v.Cond); ok {
+			if b {
+				if v.Then != nil {
+					return v.Then
+				}
+				return v.Cond
+			}
+			return v.Else
+		}
+		return v
+	case *ast.Assign:
+		v.Value = Fold(v.Value)
+		return v
+	case *ast.Index:
+		v.Arr = Fold(v.Arr)
+		if v.Key != nil {
+			v.Key = Fold(v.Key)
+		}
+		return v
+	case *ast.Call:
+		for i := range v.Args {
+			v.Args[i] = Fold(v.Args[i])
+		}
+		return v
+	case *ast.MethodCall:
+		v.Recv = Fold(v.Recv)
+		for i := range v.Args {
+			v.Args[i] = Fold(v.Args[i])
+		}
+		return v
+	case *ast.StaticCall:
+		for i := range v.Args {
+			v.Args[i] = Fold(v.Args[i])
+		}
+		return v
+	case *ast.New:
+		for i := range v.Args {
+			v.Args[i] = Fold(v.Args[i])
+		}
+		return v
+	case *ast.ArrayLit:
+		for i := range v.Vals {
+			if v.Keys[i] != nil {
+				v.Keys[i] = Fold(v.Keys[i])
+			}
+			v.Vals[i] = Fold(v.Vals[i])
+		}
+		return v
+	case *ast.Cast:
+		v.E = Fold(v.E)
+		return foldCast(v)
+	case *ast.Interp:
+		allLit := true
+		out := ""
+		for i := range v.Parts {
+			v.Parts[i] = Fold(v.Parts[i])
+			if s, ok := v.Parts[i].(*ast.StringLit); ok {
+				out += s.Value
+			} else {
+				allLit = false
+			}
+		}
+		if allLit {
+			return &ast.StringLit{Value: out}
+		}
+		return v
+	default:
+		return e
+	}
+}
+
+func numOf(e ast.Expr) (isInt bool, i int64, d float64, ok bool) {
+	switch v := e.(type) {
+	case *ast.IntLit:
+		return true, v.Value, float64(v.Value), true
+	case *ast.FloatLit:
+		return false, int64(v.Value), v.Value, true
+	case *ast.BoolLit:
+		n := int64(0)
+		if v.Value {
+			n = 1
+		}
+		return true, n, float64(n), true
+	}
+	return false, 0, 0, false
+}
+
+func foldBinop(v *ast.Binop) ast.Expr {
+	// String concatenation of literals.
+	if v.Op == "." {
+		if l, ok := v.L.(*ast.StringLit); ok {
+			if r, ok := v.R.(*ast.StringLit); ok {
+				return &ast.StringLit{Value: l.Value + r.Value}
+			}
+		}
+		return v
+	}
+	li, ln, ld, lok := numOf(v.L)
+	ri, rn, rd, rok := numOf(v.R)
+	if !lok || !rok {
+		return foldAlgebraic(v)
+	}
+	bothInt := li && ri
+	switch v.Op {
+	case "+":
+		if bothInt {
+			return &ast.IntLit{Value: ln + rn}
+		}
+		return &ast.FloatLit{Value: ld + rd}
+	case "-":
+		if bothInt {
+			return &ast.IntLit{Value: ln - rn}
+		}
+		return &ast.FloatLit{Value: ld - rd}
+	case "*":
+		if bothInt {
+			return &ast.IntLit{Value: ln * rn}
+		}
+		return &ast.FloatLit{Value: ld * rd}
+	case "/":
+		if rd == 0 {
+			return v // preserve the runtime error
+		}
+		if bothInt && ln%rn == 0 {
+			return &ast.IntLit{Value: ln / rn}
+		}
+		return &ast.FloatLit{Value: ld / rd}
+	case "%":
+		if rn == 0 {
+			return v
+		}
+		return &ast.IntLit{Value: ln % rn}
+	case "<":
+		return &ast.BoolLit{Value: ld < rd}
+	case "<=":
+		return &ast.BoolLit{Value: ld <= rd}
+	case ">":
+		return &ast.BoolLit{Value: ld > rd}
+	case ">=":
+		return &ast.BoolLit{Value: ld >= rd}
+	case "==":
+		return &ast.BoolLit{Value: ld == rd}
+	case "!=":
+		return &ast.BoolLit{Value: ld != rd}
+	case "===":
+		if li != ri {
+			return &ast.BoolLit{Value: false}
+		}
+		if li {
+			return &ast.BoolLit{Value: ln == rn}
+		}
+		return &ast.BoolLit{Value: ld == rd}
+	}
+	return v
+}
+
+// foldAlgebraic applies identities with one constant operand.
+func foldAlgebraic(v *ast.Binop) ast.Expr {
+	if ri, ok := v.R.(*ast.IntLit); ok {
+		switch {
+		case (v.Op == "+" || v.Op == "-") && ri.Value == 0:
+			return v.L
+		case v.Op == "*" && ri.Value == 1:
+			return v.L
+		}
+	}
+	if li, ok := v.L.(*ast.IntLit); ok {
+		switch {
+		case v.Op == "+" && li.Value == 0:
+			return v.R
+		case v.Op == "*" && li.Value == 1:
+			return v.R
+		}
+	}
+	return v
+}
+
+func foldUnop(v *ast.Unop) ast.Expr {
+	switch v.Op {
+	case "-":
+		if i, ok := v.E.(*ast.IntLit); ok {
+			return &ast.IntLit{Value: -i.Value}
+		}
+		if f, ok := v.E.(*ast.FloatLit); ok {
+			return &ast.FloatLit{Value: -f.Value}
+		}
+	case "!":
+		if b, ok := constBool(v.E); ok {
+			return &ast.BoolLit{Value: !b}
+		}
+	}
+	return v
+}
+
+func foldCast(v *ast.Cast) ast.Expr {
+	isInt, i, d, ok := numOf(v.E)
+	if !ok {
+		return v
+	}
+	switch v.To {
+	case "int":
+		if isInt {
+			return &ast.IntLit{Value: i}
+		}
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return &ast.IntLit{Value: 0}
+		}
+		return &ast.IntLit{Value: int64(d)}
+	case "float":
+		return &ast.FloatLit{Value: d}
+	case "bool":
+		b, _ := constBool(v.E)
+		return &ast.BoolLit{Value: b}
+	}
+	return v
+}

@@ -1,0 +1,94 @@
+package hphpc_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/hphpc"
+	"repro/internal/parser"
+)
+
+func fold(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hphpc.Optimize(p)
+	return p
+}
+
+func TestConstantFolding(t *testing.T) {
+	p := fold(t, `$x = 2 * 3 + 4;`)
+	v := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	lit, ok := v.(*ast.IntLit)
+	if !ok || lit.Value != 10 {
+		t.Fatalf("2*3+4 folded to %#v", v)
+	}
+}
+
+func TestStringFolding(t *testing.T) {
+	p := fold(t, `$x = "a" . "b" . "c";`)
+	v := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	lit, ok := v.(*ast.StringLit)
+	if !ok || lit.Value != "abc" {
+		t.Fatalf("concat folded to %#v", v)
+	}
+}
+
+func TestDeadBranchElimination(t *testing.T) {
+	p := fold(t, `if (1 > 2) { echo "dead"; } else { echo "live"; }`)
+	echo, ok := p.Main[0].(*ast.Echo)
+	if !ok {
+		t.Fatalf("dead branch not eliminated: %#v", p.Main[0])
+	}
+	if echo.Args[0].(*ast.StringLit).Value != "live" {
+		t.Error("wrong branch survived")
+	}
+}
+
+func TestWhileFalseRemoved(t *testing.T) {
+	p := fold(t, `while (false) { echo "x"; } echo "y";`)
+	if len(p.Main) != 1 {
+		t.Fatalf("while(false) survived: %d stmts", len(p.Main))
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	p := fold(t, `$y = $x + 0;`)
+	v := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	if _, ok := v.(*ast.Var); !ok {
+		t.Errorf("$x + 0 not simplified: %#v", v)
+	}
+	p = fold(t, `$y = 1 * $x;`)
+	v = p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	if _, ok := v.(*ast.Var); !ok {
+		t.Errorf("1 * $x not simplified: %#v", v)
+	}
+}
+
+func TestDivByZeroPreserved(t *testing.T) {
+	p := fold(t, `$x = 1 / 0;`)
+	v := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	if _, ok := v.(*ast.Binop); !ok {
+		t.Errorf("1/0 must keep the runtime error: %#v", v)
+	}
+}
+
+func TestTernaryFolding(t *testing.T) {
+	p := fold(t, `$x = true ? 1 : 2;`)
+	v := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	lit, ok := v.(*ast.IntLit)
+	if !ok || lit.Value != 1 {
+		t.Errorf("ternary not folded: %#v", v)
+	}
+}
+
+func TestCastFolding(t *testing.T) {
+	p := fold(t, `$x = (int)3.7;`)
+	v := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign).Value
+	lit, ok := v.(*ast.IntLit)
+	if !ok || lit.Value != 3 {
+		t.Errorf("(int)3.7 folded to %#v", v)
+	}
+}

@@ -1,0 +1,248 @@
+// Package interp implements the HHBC interpreter: the fallback
+// execution engine that cooperates with the JIT through OSR at any
+// bytecode boundary. Frames are the shared VM state: JITed code
+// side-exits by materializing a Frame and resuming here.
+package interp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/hhbc"
+	"repro/internal/runtime"
+	"repro/internal/types"
+)
+
+// Meter receives simulated-cycle charges. The machine simulator and
+// the interpreter share one meter so mode comparisons are meaningful.
+type Meter interface {
+	Charge(cycles uint64)
+}
+
+// CallHook dispatches a guest call. The VM installs a hook that
+// routes hot functions to JITed code; the default recursively
+// interprets.
+type CallHook func(f *hhbc.Func, this *runtime.Object, args []runtime.Value) (runtime.Value, error)
+
+// EnterHook observes function entries (used for JIT triggering).
+type EnterHook func(f *hhbc.Func)
+
+// Env is the linked execution environment for one unit.
+type Env struct {
+	Unit    *hhbc.Unit
+	Heap    *runtime.Heap
+	Out     io.Writer
+	Meter   Meter
+	Classes map[string]*runtime.Class
+
+	// Call dispatches guest function calls; OnEnter observes entries
+	// into interpreted functions.
+	Call    CallHook
+	OnEnter EnterHook
+
+	// MaxDepth bounds guest recursion.
+	MaxDepth int
+
+	// OSRCheck, when set, is consulted at backward branches; returning
+	// true makes Run return ErrOSR so the VM can re-enter JITed code
+	// (on-stack replacement out of the interpreter).
+	OSRCheck func(fr *Frame) bool
+
+	depth int
+}
+
+// ErrOSR signals that interpretation paused at an OSR point; the
+// frame is consistent and fr.PC names the resume point.
+var ErrOSR = fmt.Errorf("interp: OSR point reached")
+
+// NewEnv links unit and returns an environment. The heap's destructor
+// hook is installed to run guest __destruct methods through Call.
+func NewEnv(u *hhbc.Unit, heap *runtime.Heap, out io.Writer) (*Env, error) {
+	env := &Env{
+		Unit: u, Heap: heap, Out: out,
+		Classes:  map[string]*runtime.Class{},
+		MaxDepth: 512,
+	}
+	env.Call = env.interpCall
+	if err := env.link(); err != nil {
+		return nil, err
+	}
+	heap.OnDestruct = func(obj *runtime.Object) {
+		if id, ok := obj.Class.LookupMethod("__destruct"); ok {
+			// Destructor failures are swallowed, as in PHP shutdown.
+			_, _ = env.Call(u.Funcs[id], obj, nil)
+		}
+	}
+	return env, nil
+}
+
+// link flattens class definitions into runtime classes.
+func (e *Env) link() error {
+	// Multiple passes to resolve parents declared in any order.
+	defs := e.Unit.Classes
+	done := map[string]*hhbc.ClassDef{}
+	for _, d := range defs {
+		done[d.Name] = d
+	}
+	var build func(name string, seen map[string]bool) (*runtime.Class, error)
+	nextID := 1
+	build = func(name string, seen map[string]bool) (*runtime.Class, error) {
+		if c, ok := e.Classes[name]; ok {
+			return c, nil
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("class hierarchy cycle at %s", name)
+		}
+		seen[name] = true
+		def, ok := done[name]
+		if !ok {
+			return nil, fmt.Errorf("undefined class %s", name)
+		}
+		cls := &runtime.Class{
+			Name:      name,
+			Ifaces:    def.Ifaces,
+			HasDtor:   def.HasDtor,
+			PropNames: map[string]int{},
+			Methods:   map[string]int{},
+			ClassID:   nextID,
+		}
+		nextID++
+		if def.Parent != "" {
+			parent, err := build(def.Parent, seen)
+			if err != nil {
+				return nil, err
+			}
+			cls.Parent = parent
+			cls.HasDtor = cls.HasDtor || parent.HasDtor
+			for pname, slot := range parent.PropNames {
+				cls.PropNames[pname] = slot
+			}
+			cls.PropInit = append(cls.PropInit, parent.PropInit...)
+			for m, id := range parent.Methods {
+				cls.Methods[m] = id
+			}
+		}
+		for _, p := range def.Props {
+			if _, exists := cls.PropNames[p.Name]; !exists {
+				cls.PropNames[p.Name] = len(cls.PropInit)
+				cls.PropInit = append(cls.PropInit, propDefault(p))
+			} else {
+				cls.PropInit[cls.PropNames[p.Name]] = propDefault(p)
+			}
+		}
+		for m, id := range def.Methods {
+			cls.Methods[m] = id
+		}
+		// Ancestor bitset for bitwise instanceof checks.
+		cls.SetAncestorID(cls.ClassID)
+		if cls.Parent != nil {
+			for w, bits := range cls.Parent.AncestorBits {
+				for len(cls.AncestorBits) <= w {
+					cls.AncestorBits = append(cls.AncestorBits, 0)
+				}
+				cls.AncestorBits[w] |= bits
+			}
+		}
+		for _, iface := range def.Ifaces {
+			ic, err := build(iface, seen)
+			if err != nil {
+				return nil, err
+			}
+			for w, bits := range ic.AncestorBits {
+				for len(cls.AncestorBits) <= w {
+					cls.AncestorBits = append(cls.AncestorBits, 0)
+				}
+				cls.AncestorBits[w] |= bits
+			}
+		}
+		e.Classes[name] = cls
+		types.RegisterClass(name, def.Parent, def.Ifaces)
+		return cls, nil
+	}
+	for _, d := range defs {
+		if _, err := build(d.Name, map[string]bool{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func propDefault(p hhbc.PropDef) runtime.Value {
+	switch p.DefaultKind {
+	case types.KInt:
+		return runtime.Int(p.DefaultInt)
+	case types.KDbl:
+		return runtime.Dbl(p.DefaultDbl)
+	case types.KBool:
+		return runtime.Bool(p.DefaultInt != 0)
+	case types.KStr:
+		return runtime.StrV(runtime.InternStr(p.DefaultStr))
+	case types.KArr:
+		// Marker: fresh empty array per instance (see NewInstance).
+		return runtime.Value{Kind: types.KArr}
+	default:
+		return runtime.Null()
+	}
+}
+
+// NewInstance allocates an object of cls, materializing fresh arrays
+// for array-typed property defaults.
+func (e *Env) NewInstance(cls *runtime.Class) *runtime.Object {
+	obj := e.Heap.NewObject(cls)
+	for i, p := range obj.Props {
+		if p.Kind == types.KArr && p.A == nil {
+			obj.Props[i] = runtime.ArrV(runtime.NewPacked(nil))
+		}
+	}
+	return obj
+}
+
+// ClassByName resolves a linked class.
+func (e *Env) ClassByName(name string) (*runtime.Class, bool) {
+	c, ok := e.Classes[name]
+	return c, ok
+}
+
+// FuncByName resolves a function in the unit.
+func (e *Env) FuncByName(name string) (*hhbc.Func, bool) {
+	return e.Unit.FuncByName(name)
+}
+
+// NewException creates a guest exception object of class (or
+// Exception when cls is missing) carrying msg.
+func (e *Env) NewException(clsName, msg string) *runtime.Object {
+	cls, ok := e.Classes[clsName]
+	if !ok {
+		cls, ok = e.Classes["Exception"]
+		if !ok {
+			// No Exception class linked: synthesize a minimal one.
+			cls = &runtime.Class{
+				Name:      "Exception",
+				PropNames: map[string]int{"message": 0},
+				PropInit:  []runtime.Value{runtime.StrV(runtime.InternStr(""))},
+				Methods:   map[string]int{},
+				ClassID:   -1,
+			}
+			e.Classes["Exception"] = cls
+		}
+	}
+	obj := e.NewInstance(cls)
+	if _, ok := cls.PropNames["message"]; ok {
+		_ = obj.SetProp(e.Heap, "message", runtime.NewStr(msg))
+	}
+	return obj
+}
+
+// toThrownObject converts any guest error into a throwable object,
+// turning runtime fatals into catchable Exception instances (PHP's
+// error handler can likewise intercept runtime errors).
+func (e *Env) toThrownObject(err error) *runtime.Object {
+	if ge, ok := err.(*runtime.Error); ok && ge.Obj != nil {
+		return ge.Obj
+	}
+	return e.NewException("Exception", err.Error())
+}
+
+// lowerName is a tiny helper for case-insensitive method names.
+func lowerName(s string) string { return strings.ToLower(s) }

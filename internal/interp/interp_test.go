@@ -1,0 +1,336 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/emitter"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/runtime"
+)
+
+// prelude defines the Exception hierarchy every program gets.
+const prelude = `
+class Exception {
+  public $message = "";
+  function __construct($m = "") { $this->message = $m; }
+  function getMessage() { return $this->message; }
+}
+class RuntimeException extends Exception {}
+`
+
+// run compiles and interprets src, returning printed output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	out, err := tryRun(src)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return out
+}
+
+func tryRun(src string) (string, error) {
+	prog, err := parser.Parse(prelude + src)
+	if err != nil {
+		return "", err
+	}
+	unit, err := emitter.Emit(prog)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	env, err := interp.NewEnv(unit, runtime.NewHeap(), &sb)
+	if err != nil {
+		return "", err
+	}
+	main := unit.Funcs[unit.Main]
+	_, err = env.Call(main, nil, nil)
+	return sb.String(), err
+}
+
+func TestArithmeticAndEcho(t *testing.T) {
+	got := run(t, `echo 1 + 2 * 3, "\n", 10 / 4, "\n", 7 % 3;`)
+	want := "7\n2.5\n1"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestVariablesAndStrings(t *testing.T) {
+	got := run(t, `
+$x = 5;
+$y = $x + 2.5;
+$name = "world";
+echo "hello $name: $y";
+`)
+	if got != "hello world: 7.5" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	got := run(t, `
+$sum = 0;
+for ($i = 0; $i < 10; $i++) {
+  if ($i % 2 == 0) { $sum += $i; }
+}
+$j = 0;
+while ($j < 3) { $j++; }
+echo $sum, " ", $j;
+`)
+	if got != "20 3" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAvgPositive(t *testing.T) {
+	// The paper's running example (Figure 2).
+	got := run(t, `
+function avgPositive($arr) {
+  $sum = 0;
+  $n = 0;
+  $size = count($arr);
+  for ($i = 0; $i < $size; $i++) {
+    $elem = $arr[$i];
+    if ($elem > 0) {
+      $sum = $sum + $elem;
+      $n++;
+    }
+  }
+  if ($n == 0) {
+    throw new Exception("no positive numbers");
+  }
+  return $sum / $n;
+}
+echo avgPositive([1, -2, 3, 4.5, -0.5]), "\n";
+try {
+  avgPositive([-1, -2]);
+} catch (Exception $e) {
+  echo "caught: ", $e->getMessage();
+}
+`)
+	want := "2.8333333333333\ncaught: no positive numbers"
+	if !strings.HasPrefix(got, "2.83") || !strings.HasSuffix(got, "caught: no positive numbers") {
+		t.Errorf("got %q, want like %q", got, want)
+	}
+}
+
+func TestArraysPackedAndMixed(t *testing.T) {
+	got := run(t, `
+$a = [1, 2, 3];
+$a[] = 4;
+$a[0] = 10;
+$m = ["x" => 1, "y" => 2];
+$m["z"] = $m["x"] + $m["y"];
+unset($m["x"]);
+echo count($a), " ", $a[0], " ", $m["z"], " ", count($m);
+`)
+	if got != "4 10 3 2" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestForeach(t *testing.T) {
+	got := run(t, `
+$total = 0;
+$keys = "";
+foreach ([10, 20, 30] as $v) { $total += $v; }
+foreach (["a" => 1, "b" => 2] as $k => $v) { $keys .= $k; $total += $v; }
+echo $total, " ", $keys;
+`)
+	if got != "63 ab" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestClassesAndMethods(t *testing.T) {
+	got := run(t, `
+class Point {
+  public $x = 0;
+  public $y = 0;
+  function __construct($x, $y) { $this->x = $x; $this->y = $y; }
+  function norm2() { return $this->x * $this->x + $this->y * $this->y; }
+}
+class Point3 extends Point {
+  public $z = 0;
+  function __construct($x, $y, $z) { $this->x = $x; $this->y = $y; $this->z = $z; }
+  function norm2() { return $this->x*$this->x + $this->y*$this->y + $this->z*$this->z; }
+}
+$p = new Point(3, 4);
+$q = new Point3(1, 2, 2);
+echo $p->norm2(), " ", $q->norm2(), " ";
+echo $q instanceof Point ? "yes" : "no";
+`)
+	if got != "25 9 yes" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDestructorTiming(t *testing.T) {
+	// Destructors must run at the exact point the last reference
+	// dies — the observable refcounting behaviour the paper calls out.
+	got := run(t, `
+class D {
+  public $name = "";
+  function __construct($n) { $this->name = $n; }
+  function __destruct() { echo "~", $this->name, ";"; }
+}
+$a = new D("a");
+$b = $a;       // refcount 2
+$a = null;     // still alive
+echo "mid;";
+$b = null;     // dies here
+echo "end;";
+`)
+	if got != "mid;~a;end;" {
+		t.Errorf("destructor timing wrong: got %q", got)
+	}
+}
+
+func TestCopyOnWrite(t *testing.T) {
+	got := run(t, `
+$a = [1, 2, 3];
+$b = $a;        // shared, refcount 2
+$b[0] = 99;     // COW copy: $a unchanged
+echo $a[0], " ", $b[0];
+`)
+	if got != "1 99" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSwitchDense(t *testing.T) {
+	got := run(t, `
+function f($n) {
+  switch ($n) {
+    case 1: return "one";
+    case 2: return "two";
+    case 3: return "three";
+    default: return "many";
+  }
+}
+echo f(1), f(2), f(3), f(9);
+`)
+	if got != "onetwothreemany" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	got := run(t, `
+$n = 1;
+$s = "";
+switch ($n) {
+  case 1: $s .= "a";
+  case 2: $s .= "b"; break;
+  case 3: $s .= "c";
+}
+echo $s;
+`)
+	if got != "ab" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	got := run(t, `
+function fib($n) { return $n < 2 ? $n : fib($n-1) + fib($n-2); }
+echo fib(15);
+`)
+	if got != "610" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	got := run(t, `
+echo strlen("hello"), " ", strtoupper("abc"), " ", implode(",", [1,2,3]),
+     " ", max(3, 7, 5), " ", abs(-4);
+`)
+	if got != "5 ABC 1,2,3 7 4" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTypeHints(t *testing.T) {
+	if _, err := tryRun(`function f(int $x) { return $x; } f("nope");`); err == nil {
+		t.Error("expected type-hint violation")
+	}
+	got := run(t, `function g(float $x) { return $x + 0.5; } echo g(2);`)
+	if got != "2.5" {
+		t.Errorf("int-to-float widening failed: got %q", got)
+	}
+}
+
+func TestUncaughtError(t *testing.T) {
+	_, err := tryRun(`throw new Exception("boom");`)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("expected uncaught exception, got %v", err)
+	}
+}
+
+func TestNestedTryAndRethrow(t *testing.T) {
+	got := run(t, `
+class AErr extends Exception {}
+class BErr extends Exception {}
+try {
+  try {
+    throw new BErr("inner");
+  } catch (AErr $e) {
+    echo "wrong;";
+  }
+} catch (BErr $e) {
+  echo "right:", $e->getMessage();
+}
+`)
+	if got != "right:inner" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStaticMethodCall(t *testing.T) {
+	got := run(t, `
+class M { static function twice($x) { return $x * 2; } }
+echo M::twice(21);
+`)
+	if got != "42" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestBreakContinueInLoops(t *testing.T) {
+	got := run(t, `
+$s = "";
+foreach ([1,2,3,4,5] as $v) {
+  if ($v == 2) { continue; }
+  if ($v == 4) { break; }
+  $s .= $v;
+}
+echo $s;
+`)
+	if got != "13" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCompoundAssignAndIncDecOnIndex(t *testing.T) {
+	got := run(t, `
+$a = [1, 2];
+$a[0] += 10;
+$a[1]++;
+$o = new Exception("x");
+$o->message .= "y";
+echo $a[0], $a[1], $o->getMessage();
+`)
+	if got != "113xy" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSpaceship(t *testing.T) {
+	got := run(t, `echo 1 <=> 2, 2 <=> 2, 3 <=> 2, "a" <=> "b";`)
+	if got != "-101-1" {
+		t.Errorf("spaceship results: %q", got)
+	}
+}

@@ -1,0 +1,338 @@
+// Package jit orchestrates the three compilation modes of the HHVM
+// JIT (Section 4.1): live tracelet translations, instrumented
+// profiling translations, and profile-guided optimized region
+// translations published at a global retranslation trigger with
+// function sorting and huge-page mapping (Section 5.1).
+package jit
+
+import (
+	"os"
+
+	"repro/internal/hhbc"
+	"repro/internal/interp"
+	"repro/internal/machine"
+	"repro/internal/mcode"
+	"repro/internal/profile"
+	"repro/internal/region"
+	"repro/internal/types"
+)
+
+// Mode selects the execution strategy (the Figure 8 comparison).
+type Mode int
+
+const (
+	// ModeInterp never JITs.
+	ModeInterp Mode = iota
+	// ModeTracelet is the first-generation design: live tracelets
+	// only.
+	ModeTracelet
+	// ModeProfiling runs profiling translations forever (the JIT-
+	// Profile bar in Figure 8).
+	ModeProfiling
+	// ModeRegion is the full second-generation design.
+	ModeRegion
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeInterp:
+		return "interp"
+	case ModeTracelet:
+		return "tracelet"
+	case ModeProfiling:
+		return "profiling"
+	default:
+		return "region"
+	}
+}
+
+// Config toggles the optimizations evaluated in Figure 10.
+type Config struct {
+	Mode Mode
+
+	EnableInlining       bool
+	EnableRCE            bool
+	EnableGuardRelax     bool
+	EnableMethodDispatch bool
+	// PGOLayout uses profile counts for block layout / hot-cold
+	// splitting; FunctionSort orders translations by the C3
+	// heuristic; HugePages maps the hot area onto 2 MiB pages.
+	PGOLayout    bool
+	FunctionSort bool
+	HugePages    bool
+
+	// CodeCacheLimit bounds total JITed bytes (0 = default 64 MiB).
+	CodeCacheLimit uint64
+	// ProfileTrigger fires global retranslation after this many
+	// function-entry events (0 = default).
+	ProfileTrigger uint64
+	// MaxLiveChain bounds live retranslation chains per address.
+	MaxLiveChain int
+	// LiveThreshold: entries before a live translation is made.
+	LiveThreshold uint64
+}
+
+// DefaultConfig is the full region JIT with everything on.
+func DefaultConfig() Config {
+	return Config{
+		Mode:                 ModeRegion,
+		EnableInlining:       true,
+		EnableRCE:            true,
+		EnableGuardRelax:     true,
+		EnableMethodDispatch: true,
+		PGOLayout:            true,
+		FunctionSort:         true,
+		HugePages:            true,
+		CodeCacheLimit:       64 << 20,
+		ProfileTrigger:       1500,
+		MaxLiveChain:         12,
+		LiveThreshold:        2,
+	}
+}
+
+// Translation is one compiled region resident in the code cache.
+type Translation struct {
+	FuncID int
+	PC     int
+	Kind   Mode // which pipeline produced it
+	// Preconds are the dispatcher-checked entry conditions.
+	Preconds []region.Guard
+	// EntryDepth is the required eval-stack depth at entry.
+	EntryDepth int
+	Code       *mcode.Code
+	// ProfID is the profiling counter (profiling translations).
+	ProfID profile.TransID
+	// Desc is kept for region reuse (inlining) and diagnostics.
+	Desc *region.Desc
+}
+
+type transKey struct {
+	fn int
+	pc int
+}
+
+// Stats tracks JIT activity for the evaluation harness.
+type Stats struct {
+	LiveTranslations      int
+	ProfilingTranslations int
+	OptimizedTranslations int
+	BytesLive             uint64
+	BytesProfiling        uint64
+	BytesOptimized        uint64
+	GuardFails            uint64
+	Entries               uint64
+	OptimizeRuns          int
+	CacheFullEvents       uint64
+
+	// Execution breakdown (simulated cycles and event counts).
+	MachineCycles uint64
+	InterpCycles  uint64
+	MachineEnters uint64
+	SideExits     uint64
+	BindRequests  uint64
+	InterpRuns    uint64
+}
+
+// JIT owns the translation cache and compilation pipelines.
+type JIT struct {
+	Cfg      Config
+	Env      *interp.Env
+	Unit     *hhbc.Unit
+	Counters *profile.Counters
+	Cache    *mcode.Cache
+	Machine  *machine.Machine
+	Meter    *machine.Meter
+
+	trans map[transKey][]*Translation
+	// profBlocks collects profiling region blocks per function.
+	profBlocks map[int][]*region.Block
+	profIDs    map[int][]profile.TransID
+	// translationByProfID resolves arcs.
+	byProfID map[profile.TransID]*Translation
+
+	entryCount map[transKey]uint64
+	// blacklist marks addresses whose translation failed; they stay
+	// interpreted.
+	blacklist map[transKey]bool
+	entries   uint64
+	optimized bool
+	cacheFull bool
+
+	Stats Stats
+}
+
+// New wires a JIT to an environment.
+func New(cfg Config, env *interp.Env, meter *machine.Meter) *JIT {
+	if cfg.CodeCacheLimit == 0 {
+		cfg.CodeCacheLimit = 64 << 20
+	}
+	if cfg.ProfileTrigger == 0 {
+		cfg.ProfileTrigger = 400
+	}
+	if cfg.MaxLiveChain == 0 {
+		cfg.MaxLiveChain = 4
+	}
+	if cfg.LiveThreshold == 0 {
+		cfg.LiveThreshold = 2
+	}
+	j := &JIT{
+		Cfg:        cfg,
+		Env:        env,
+		Unit:       env.Unit,
+		Counters:   profile.NewCounters(),
+		Cache:      mcode.NewCache(cfg.CodeCacheLimit),
+		Meter:      meter,
+		trans:      map[transKey][]*Translation{},
+		profBlocks: map[int][]*region.Block{},
+		profIDs:    map[int][]profile.TransID{},
+		byProfID:   map[profile.TransID]*Translation{},
+		entryCount: map[transKey]uint64{},
+		blacklist:  map[transKey]bool{},
+	}
+	j.Machine = machine.New(env, meter, j.Counters, j.Cache)
+	return j
+}
+
+// frameTypeSource adapts a live frame to the region selector.
+type frameTypeSource struct{ fr *interp.Frame }
+
+func (s frameTypeSource) LocalType(slot int) types.Type {
+	if slot < len(s.fr.Locals) {
+		return s.fr.Locals[slot].Type()
+	}
+	return types.TUninit
+}
+
+func (s frameTypeSource) StackType(depth int) types.Type {
+	if depth < len(s.fr.Stack) {
+		return s.fr.Stack[depth].Type()
+	}
+	return types.TCell
+}
+
+// guardsMatch checks a translation's preconditions against live frame
+// state, charging the per-candidate dispatch fee.
+func (j *JIT) guardsMatch(tr *Translation, fr *interp.Frame) bool {
+	if tr.EntryDepth != len(fr.Stack) {
+		return false
+	}
+	src := frameTypeSource{fr}
+	for _, g := range tr.Preconds {
+		var t types.Type
+		if g.Loc.Kind == region.LocLocal {
+			t = src.LocalType(g.Loc.Slot)
+		} else {
+			t = src.StackType(g.Loc.Slot)
+		}
+		if !t.SubtypeOf(g.Type) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup finds (or creates, subject to thresholds) a translation for
+// (fn, fr.PC) matching the live frame types. Returns nil to stay in
+// the interpreter.
+func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame) *Translation {
+	if j.Cfg.Mode == ModeInterp {
+		return nil
+	}
+	key := transKey{fn.ID, fr.PC}
+	chain := j.trans[key]
+	for _, tr := range chain {
+		j.Meter.Charge(uint64(3 + 2*len(tr.Preconds))) // chain guard checks
+		if j.guardsMatch(tr, fr) {
+			return tr
+		}
+	}
+	// Nothing matches: consider translating.
+	if j.cacheFull || j.blacklist[key] {
+		return nil
+	}
+	j.entryCount[key]++
+	switch j.Cfg.Mode {
+	case ModeTracelet:
+		if j.entryCount[key] < j.Cfg.LiveThreshold || len(chain) >= j.Cfg.MaxLiveChain {
+			return nil
+		}
+		return j.translateLive(fn, fr)
+	case ModeProfiling:
+		if len(chain) >= j.Cfg.MaxLiveChain {
+			return nil
+		}
+		return j.translateProfiling(fn, fr)
+	case ModeRegion:
+		if !j.optimized {
+			if len(chain) >= j.Cfg.MaxLiveChain {
+				return nil
+			}
+			return j.translateProfiling(fn, fr)
+		}
+		// Post-optimization: new code gets live translations.
+		if j.entryCount[key] < j.Cfg.LiveThreshold || len(chain) >= j.Cfg.MaxLiveChain {
+			return nil
+		}
+		return j.translateLive(fn, fr)
+	}
+	return nil
+}
+
+// HasMatch reports whether a matching translation exists (OSR check;
+// no translation creation, no fee).
+func (j *JIT) HasMatch(fn *hhbc.Func, fr *interp.Frame) bool {
+	for _, tr := range j.trans[transKey{fn.ID, fr.PC}] {
+		if j.guardsMatch(tr, fr) {
+			return true
+		}
+	}
+	return false
+}
+
+// WantsTranslation reports whether the OSR point should bounce to the
+// dispatcher to create a translation. Each query counts as a hotness
+// observation so loops that stay in the interpreter eventually cross
+// the live-translation threshold.
+func (j *JIT) WantsTranslation(fn *hhbc.Func, fr *interp.Frame) bool {
+	if j.cacheFull || j.Cfg.Mode == ModeInterp {
+		return false
+	}
+	key := transKey{fn.ID, fr.PC}
+	if j.blacklist[key] || len(j.trans[key]) >= j.Cfg.MaxLiveChain {
+		return false
+	}
+	switch j.Cfg.Mode {
+	case ModeRegion:
+		if !j.optimized {
+			return true // profiling translations are made eagerly
+		}
+	case ModeProfiling:
+		return true
+	}
+	j.entryCount[key]++
+	return j.entryCount[key]+1 >= j.Cfg.LiveThreshold
+}
+
+// OnEntry counts function entries and fires the global retranslation
+// trigger (Section 5.1).
+func (j *JIT) OnEntry() {
+	j.entries++
+	j.Stats.Entries++
+	if j.Cfg.Mode == ModeRegion && !j.optimized && j.entries >= j.Cfg.ProfileTrigger {
+		j.OptimizeAll()
+	}
+}
+
+// Optimized reports whether the global trigger has fired.
+func (j *JIT) Optimized() bool { return j.optimized }
+
+// RecordArc notes a control transfer between two profiling
+// translations (TransCFG edges).
+func (j *JIT) RecordArc(from, to *Translation) {
+	if from != nil && to != nil && from.Kind == ModeProfiling && to.Kind == ModeProfiling {
+		j.Counters.RecordArc(from.ProfID, to.ProfID)
+	}
+}
+
+// DebugVM enables dispatcher tracing.
+var DebugVM = os.Getenv("REPRO_VM_DEBUG") != ""

@@ -1,0 +1,385 @@
+package jit
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/hhbc"
+	"repro/internal/hhir"
+	"repro/internal/interp"
+	"repro/internal/mcode"
+	"repro/internal/region"
+	"repro/internal/types"
+	"repro/internal/vasm"
+)
+
+// Debug, when set, dumps every compiled region's IR to stderr.
+var Debug = os.Getenv("REPRO_JIT_DEBUG") != ""
+
+// compile runs a region through the optimizer and back end.
+func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.PassConfig,
+	lay vasm.LayoutConfig, area mcode.Area) (*mcode.Code, error) {
+
+	hu, err := hhir.Build(j.Unit, j.Env, desc, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	hhir.Optimize(hu, passes)
+	vu, err := vasm.Lower(hu)
+	if err != nil {
+		return nil, err
+	}
+	vasm.Layout(vu, lay)
+	vasm.Allocate(vu)
+	code := mcode.Assemble(vu)
+	if Debug && !bcfg.Profiling {
+		fmt.Fprintf(os.Stderr, "=== region for %s ===\n%s\n--- HHIR ---\n%s--- vasm ---\n%s\n",
+			desc.Entry().Func.FullName(), desc, hu, vu)
+	}
+	base, err := j.Cache.Alloc(area, code.Size)
+	if err != nil {
+		j.cacheFull = true
+		j.Stats.CacheFullEvents++
+		return nil, err
+	}
+	code.Place(base)
+	// Compilation itself consumes CPU: the warmup dip in Figure 9 is
+	// partly JIT time. Charged per emitted byte.
+	j.Meter.Charge(code.Size * jitCyclesPerByte)
+	return code, nil
+}
+
+// jitCyclesPerByte approximates compilation cost per emitted byte.
+const jitCyclesPerByte = 45
+
+func (j *JIT) passConfig(profiling bool) hhir.PassConfig {
+	if profiling {
+		return hhir.ProfilingPasses
+	}
+	p := hhir.AllPasses
+	p.RCE = j.Cfg.EnableRCE
+	return p
+}
+
+func (j *JIT) layoutConfig() vasm.LayoutConfig {
+	return vasm.LayoutConfig{ProfileGuided: j.Cfg.PGOLayout, SplitCold: true}
+}
+
+// translateLive builds a gen-1 style tracelet translation from the
+// live frame state.
+func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame) *Translation {
+	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), frameTypeSource{fr},
+		region.ModeLive, 0)
+	desc := region.NewDesc(blk)
+	bcfg := hhir.BuildConfig{
+		// Live translations have no profile data; inline caching
+		// handles dispatch (Section 5.3.3).
+		EnableInlining:       false,
+		EnableMethodDispatch: false,
+	}
+	code, err := j.compile(desc, bcfg, j.passConfig(false),
+		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaLive)
+	if err != nil {
+		debugCompileErr("live", fn.FullName(), err)
+		if !j.cacheFull {
+			j.blacklist[transKey{fn.ID, fr.PC}] = true
+		}
+		return nil
+	}
+	tr := &Translation{
+		FuncID: fn.ID, PC: fr.PC, Kind: ModeTracelet,
+		Preconds: blk.Preconds, EntryDepth: blk.EntryStackDepth,
+		Code: code, ProfID: -1, Desc: desc,
+	}
+	j.install(tr)
+	j.Stats.LiveTranslations++
+	j.Stats.BytesLive += code.Size
+	return tr
+}
+
+// translateProfiling builds an instrumented single-block translation.
+func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame) *Translation {
+	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), frameTypeSource{fr},
+		region.ModeProfiling, 0)
+	blk.ProfCounter = j.Counters.NewCounter()
+	desc := region.NewDesc(blk)
+	bcfg := hhir.BuildConfig{Profiling: true, Counter: blk.ProfCounter}
+	code, err := j.compile(desc, bcfg, j.passConfig(true),
+		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaProfile)
+	if err != nil {
+		if !j.cacheFull {
+			j.blacklist[transKey{fn.ID, fr.PC}] = true
+		}
+		return nil
+	}
+	tr := &Translation{
+		FuncID: fn.ID, PC: fr.PC, Kind: ModeProfiling,
+		Preconds: blk.Preconds, EntryDepth: blk.EntryStackDepth,
+		Code: code, ProfID: blk.ProfCounter, Desc: desc,
+	}
+	j.install(tr)
+	j.byProfID[blk.ProfCounter] = tr
+	j.profBlocks[fn.ID] = append(j.profBlocks[fn.ID], blk)
+	j.profIDs[fn.ID] = append(j.profIDs[fn.ID], blk.ProfCounter)
+	j.Stats.ProfilingTranslations++
+	j.Stats.BytesProfiling += code.Size
+	return tr
+}
+
+func (j *JIT) install(tr *Translation) {
+	key := transKey{tr.FuncID, tr.PC}
+	j.trans[key] = append(j.trans[key], tr)
+}
+
+// OptimizeAll is the global retranslation trigger: it forms regions
+// for every profiled function, compiles them with the full pipeline,
+// sorts functions with the C3 heuristic, publishes the optimized code
+// into the hot area (optionally huge-page mapped), and discards the
+// profiling translations (points A..C in Figure 9).
+func (j *JIT) OptimizeAll() {
+	if j.optimized {
+		return
+	}
+	j.optimized = true
+	j.Stats.OptimizeRuns++
+
+	type funcRegions struct {
+		fnID    int
+		regions []*region.Desc
+	}
+	var all []funcRegions
+	for fnID, blocks := range j.profBlocks {
+		g := region.BuildTransCFG(blocks, j.profIDs[fnID], j.Counters)
+		regions := region.FormRegions(g, region.DefaultFormConfig)
+		rcfg := region.DefaultRelaxConfig
+		rcfg.Enabled = j.Cfg.EnableGuardRelax
+		for _, d := range regions {
+			if Debug {
+				fmt.Fprintf(os.Stderr, "=== pre-relax region ===\n%s\n", d)
+			}
+			region.Relax(d, g, j.Counters, rcfg)
+		}
+		all = append(all, funcRegions{fnID, regions})
+	}
+
+	// Function sorting: order the publish sequence by C3 clustering
+	// over the dynamic call graph (Section 5.1.1).
+	order := j.functionOrder()
+	rank := map[int]int{}
+	for i, fnID := range order {
+		rank[fnID] = i
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		ra, oka := rank[all[a].fnID]
+		rb, okb := rank[all[b].fnID]
+		if oka != okb {
+			return oka
+		}
+		if ra != rb {
+			return ra < rb
+		}
+		return all[a].fnID < all[b].fnID
+	})
+
+	// Profiling code is discarded up front: its cache space is reused
+	// for the optimized translations (freeing `aprof`), so the code
+	// budget constrains optimized + live code only. With a small
+	// budget the function-sorted order means the hottest code is
+	// compiled first — the property behind Figure 11's shape.
+	j.Cache.Free(mcode.AreaProfile, j.Stats.BytesProfiling)
+	j.Cache.ResetArea(mcode.AreaProfile)
+
+	// Compile and publish.
+	bcfg := hhir.BuildConfig{
+		EnableInlining:       j.Cfg.EnableInlining,
+		EnableMethodDispatch: j.Cfg.EnableMethodDispatch,
+		DisableInlineCache:   !j.Cfg.EnableMethodDispatch,
+		Counters:             j.Counters,
+		RegionOf:             j.regionForInline,
+	}
+	var newTrans []*Translation
+	for _, fr := range all {
+		for _, desc := range fr.regions {
+			code, err := j.compile(desc, bcfg, j.passConfig(false),
+				j.layoutConfig(), mcode.AreaHot)
+			if err != nil {
+				debugCompileErr("optimize", desc.Entry().Func.FullName(), err)
+				continue // cache full: remaining code stays interpreted
+			}
+			entry := desc.Entry()
+			tr := &Translation{
+				FuncID: fr.fnID, PC: entry.Start, Kind: ModeRegion,
+				Preconds: entry.Preconds, EntryDepth: entry.EntryStackDepth,
+				Code: code, ProfID: -1, Desc: desc,
+			}
+			newTrans = append(newTrans, tr)
+			j.Stats.OptimizedTranslations++
+			j.Stats.BytesOptimized += code.Size
+		}
+	}
+
+	// Publish: optimized translations replace the profiling chains.
+	for key := range j.trans {
+		var keep []*Translation
+		for _, tr := range j.trans[key] {
+			if tr.Kind != ModeProfiling {
+				keep = append(keep, tr)
+			}
+		}
+		j.trans[key] = keep
+	}
+	for _, tr := range newTrans {
+		j.install(tr)
+	}
+
+	if j.Cfg.HugePages {
+		j.Cache.SetHugePages(j.Cache.AreaUsed(mcode.AreaHot))
+	}
+	// Reset entry counts so post-optimization live translation
+	// thresholds start fresh.
+	j.entryCount = map[transKey]uint64{}
+	j.cacheFull = false
+}
+
+// regionForInline supplies callee regions to the partial inliner: the
+// callee's own profiled region when available, otherwise a region
+// synthesized from the argument types.
+func (j *JIT) regionForInline(f *hhbc.Func, argTypes []types.Type) *region.Desc {
+	blocks := j.profBlocks[f.ID]
+	if len(blocks) > 0 {
+		g := region.BuildTransCFG(blocks, j.profIDs[f.ID], j.Counters)
+		regions := region.FormRegions(g, region.FormRegionsConfig{MaxBCInstrs: 200})
+		for _, d := range regions {
+			if d.Entry().Start == 0 {
+				return d
+			}
+		}
+	}
+	// Synthesize from argument types (static region).
+	src := argTypeSource{argTypes: argTypes, fn: f}
+	blk := region.Select(j.Unit, f, 0, 0, src, region.ModeLive, 0)
+	return region.NewDesc(blk)
+}
+
+// argTypeSource feeds known argument types to the region selector.
+type argTypeSource struct {
+	argTypes []types.Type
+	fn       *hhbc.Func
+}
+
+func (s argTypeSource) LocalType(slot int) types.Type {
+	if slot < len(s.argTypes) {
+		return s.argTypes[slot]
+	}
+	if slot < len(s.fn.Params) {
+		p := s.fn.Params[slot]
+		if p.HasDefault {
+			return types.FromKind(p.DefaultKind)
+		}
+		return types.TNull
+	}
+	return types.TUninit
+}
+
+func (s argTypeSource) StackType(int) types.Type { return types.TCell }
+
+// functionOrder implements the C3 clustering heuristic of Ottoni &
+// Maher over the dynamic call graph: clusters merge along the
+// heaviest caller->callee arcs (callee appended after caller) until a
+// size cap, then clusters are emitted by descending hotness.
+func (j *JIT) functionOrder() []int {
+	graph := j.Counters.CallGraph()
+	hotness := map[int]uint64{}
+	type arc struct {
+		caller, callee int
+		w              uint64
+	}
+	var arcs []arc
+	for a, w := range graph {
+		arcs = append(arcs, arc{a.Caller, a.Callee, w})
+		hotness[a.Callee] += w
+		hotness[a.Caller] += 0
+	}
+	if !j.Cfg.FunctionSort {
+		// Unsorted: stable function-ID order.
+		var ids []int
+		for id := range j.profBlocks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return ids
+	}
+	sort.Slice(arcs, func(a, b int) bool {
+		if arcs[a].w != arcs[b].w {
+			return arcs[a].w > arcs[b].w
+		}
+		if arcs[a].caller != arcs[b].caller {
+			return arcs[a].caller < arcs[b].caller
+		}
+		return arcs[a].callee < arcs[b].callee
+	})
+
+	const maxClusterFuncs = 16
+	clusterOf := map[int]int{}
+	clusters := map[int][]int{}
+	ensure := func(f int) int {
+		if c, ok := clusterOf[f]; ok {
+			return c
+		}
+		clusterOf[f] = f
+		clusters[f] = []int{f}
+		return f
+	}
+	for _, a := range arcs {
+		cc := ensure(a.caller)
+		ce := ensure(a.callee)
+		if cc == ce {
+			continue
+		}
+		if len(clusters[cc])+len(clusters[ce]) > maxClusterFuncs {
+			continue
+		}
+		clusters[cc] = append(clusters[cc], clusters[ce]...)
+		for _, f := range clusters[ce] {
+			clusterOf[f] = cc
+		}
+		delete(clusters, ce)
+	}
+	for id := range j.profBlocks {
+		ensure(id)
+	}
+	// Order clusters by their hottest member.
+	type cl struct {
+		id   int
+		heat uint64
+	}
+	var cls []cl
+	for id, members := range clusters {
+		var h uint64
+		for _, f := range members {
+			if hotness[f] > h {
+				h = hotness[f]
+			}
+		}
+		cls = append(cls, cl{id, h})
+	}
+	sort.Slice(cls, func(a, b int) bool {
+		if cls[a].heat != cls[b].heat {
+			return cls[a].heat > cls[b].heat
+		}
+		return cls[a].id < cls[b].id
+	})
+	var out []int
+	for _, c := range cls {
+		out = append(out, clusters[c.id]...)
+	}
+	return out
+}
+
+// debugCompileErr reports compile failures when REPRO_JIT_DEBUG is on.
+func debugCompileErr(where string, fn string, err error) {
+	if Debug && err != nil {
+		fmt.Fprintf(os.Stderr, "JIT compile failure (%s, %s): %v\n", where, fn, err)
+	}
+}

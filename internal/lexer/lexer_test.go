@@ -1,0 +1,85 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"repro/internal/lexer"
+)
+
+func kinds(t *testing.T, src string) []lexer.Token {
+	t.Helper()
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return toks
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := kinds(t, `<?php $x = 42 + 3.5; // comment`)
+	want := []struct {
+		kind lexer.TokKind
+		text string
+	}{
+		{lexer.TVar, "x"}, {lexer.TOp, "="}, {lexer.TInt, "42"},
+		{lexer.TOp, "+"}, {lexer.TFloat, "3.5"}, {lexer.TOp, ";"},
+		{lexer.TEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind {
+			t.Errorf("token %d kind = %v", i, toks[i].Kind)
+		}
+	}
+	if toks[2].Int != 42 || toks[4].Dbl != 3.5 {
+		t.Error("literal values wrong")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks := kinds(t, `"a\nb" 'c\nd'`)
+	if toks[0].Str != "a\nb" {
+		t.Errorf("double-quoted escape: %q", toks[0].Str)
+	}
+	if toks[1].Str != `c\nd` {
+		t.Errorf("single-quoted should not unescape \\n: %q", toks[1].Str)
+	}
+}
+
+func TestMultiCharOperators(t *testing.T) {
+	toks := kinds(t, `=== !== <= >= && || -> => :: ++ .= <=>`)
+	want := []string{"===", "!==", "<=", ">=", "&&", "||", "->", "=>", "::", "++", ".=", "<=>"}
+	for i, w := range want {
+		if toks[i].Text != w {
+			t.Errorf("op %d = %q, want %q", i, toks[i].Text, w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := kinds(t, "1 // line\n2 # hash\n3 /* block\nstill */ 4")
+	if len(toks) != 5 { // 4 ints + EOF
+		t.Fatalf("comments not skipped: %v", toks)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := kinds(t, "$a\n  $b")
+	if toks[0].Line != 1 || toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("positions wrong: %+v %+v", toks[0], toks[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := lexer.Tokenize(`"unterminated`); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := lexer.Tokenize("`"); err == nil {
+		t.Error("unknown character accepted")
+	}
+	if _, err := lexer.Tokenize("$ x"); err == nil {
+		t.Error("bare $ accepted")
+	}
+}

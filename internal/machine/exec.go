@@ -1,0 +1,499 @@
+package machine
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/hhbc"
+	"repro/internal/interp"
+	"repro/internal/mcode"
+	"repro/internal/profile"
+	"repro/internal/runtime"
+	"repro/internal/types"
+	"repro/internal/vasm"
+)
+
+// OutcomeKind classifies how a translation finished.
+type OutcomeKind int
+
+const (
+	// Returned: the guest function returned Value.
+	Returned OutcomeKind = iota
+	// SideExit: resume interpretation at BCOff (frame stack synced).
+	SideExit
+	// BindRequest: control wants to continue at bytecode BCOff —
+	// the dispatcher may enter another translation or bind a new one.
+	BindRequest
+	// Threw: a guest error escaped; frame state synced at BCOff.
+	Threw
+)
+
+// Outcome reports the result of executing one translation.
+type Outcome struct {
+	Kind  OutcomeKind
+	Value runtime.Value
+	BCOff int
+	Err   error
+	// Inline is non-nil when the exit happened inside inlined code:
+	// the chain of materialized callee frames, innermost first. The
+	// outermost entry's RetBCOff is a pc in the root function.
+	Inline []InlineResume
+	// GuardTrace counts failed in-code guards (diagnostics).
+	GuardFails int
+}
+
+// InlineResume is one materialized inline frame: run Frame; its
+// return value is pushed in the enclosing frame, which resumes at
+// RetBCOff.
+type InlineResume struct {
+	Frame    *interp.Frame
+	RetBCOff int
+}
+
+// CallGuestFn dispatches a guest call from JITed code back through
+// the VM (which may pick another translation or the interpreter).
+type CallGuestFn func(f *hhbc.Func, this *runtime.Object, args []runtime.Value) (runtime.Value, error)
+
+// Machine executes assembled translations.
+type Machine struct {
+	Env      *interp.Env
+	Meter    *Meter
+	Counters *profile.Counters
+	Cache    *mcode.Cache
+	Fetch    *FetchModel
+
+	// CallGuest is installed by the VM.
+	CallGuest CallGuestFn
+
+	// methodCache: per-site monomorphic inline caches.
+	methodCache map[int64]methodCacheEnt
+}
+
+type methodCacheEnt struct {
+	cls    *runtime.Class
+	funcID int
+}
+
+// New creates a machine bound to an environment.
+func New(env *interp.Env, meter *Meter, counters *profile.Counters, cache *mcode.Cache) *Machine {
+	m := &Machine{
+		Env: env, Meter: meter, Counters: counters, Cache: cache,
+		Fetch:       NewFetchModel(),
+		methodCache: map[int64]methodCacheEnt{},
+	}
+	m.Fetch.HugeCovers = cache.HugeCovers
+	return m
+}
+
+// activation is the per-execution machine state.
+type activation struct {
+	regs   [vasm.TotalMachineRegs]runtime.Value
+	spills []runtime.Value
+	fr     *interp.Frame
+}
+
+func (a *activation) get(r vasm.Reg) runtime.Value {
+	if r >= vasm.SpillRegBase {
+		return a.spills[r-vasm.SpillRegBase]
+	}
+	return a.regs[r]
+}
+
+func (a *activation) set(r vasm.Reg, v runtime.Value) {
+	if r >= vasm.SpillRegBase {
+		a.spills[r-vasm.SpillRegBase] = v
+		return
+	}
+	a.regs[r] = v
+}
+
+// Exec runs code against fr until it returns, exits, or throws.
+func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
+	act := &activation{fr: fr}
+	if code.NumSpills > 0 {
+		act.spills = make([]runtime.Value, code.NumSpills)
+	}
+	// Extend the frame for inline-callee locals.
+	for len(fr.Locals) < code.ExtSlots {
+		fr.Locals = append(fr.Locals, runtime.Uninit())
+	}
+
+	h := m.Env.Heap
+	guardFails := 0
+	// Block 0 is the translation entry; layout may have placed hotter
+	// loop blocks ahead of it.
+	ip := code.BlockIndex[0]
+	defer func() {
+		if r := recover(); r != nil {
+			in := &code.Instrs[ip]
+			panic(fmt.Sprintf("machine panic at ip=%d op=%s instr=%s spills=%d imms=%d locals=%d: %v\n%s",
+				ip, in.Op, in.String(), len(act.spills), len(code.Imms), len(fr.Locals), r,
+				debug.Stack()))
+		}
+	}()
+	for {
+		if ip >= len(code.Instrs) {
+			return Outcome{Kind: Threw, BCOff: fr.PC, GuardFails: guardFails,
+				Err: runtime.NewError("machine: fell off code end")}
+		}
+		in := &code.Instrs[ip]
+		m.Meter.ChargeOp(in.Op, opCost(in.Op)+m.Fetch.Fetch(code.AddrOf(ip)))
+
+		switch in.Op {
+		case vasm.Nop:
+		case vasm.LdImm:
+			m.setImm(act, in.D, code.Imms[in.I64])
+		case vasm.Copy:
+			act.set(in.D, act.get(in.A))
+		case vasm.LdLoc:
+			v := fr.Locals[in.I64]
+			if v.Kind == types.KUninit {
+				v = runtime.Null()
+			}
+			act.set(in.D, v)
+		case vasm.StLoc:
+			fr.Locals[in.I64] = act.get(in.A)
+		case vasm.LdStk:
+			if int(in.I64) < len(fr.Stack) {
+				act.set(in.D, fr.Stack[in.I64])
+			} else {
+				act.set(in.D, runtime.Null())
+			}
+		case vasm.Spill:
+			act.spills[in.I64] = act.get(in.A)
+		case vasm.Reload:
+			act.set(in.D, act.spills[in.I64])
+
+		case vasm.GuardKind:
+			v := act.get(in.A)
+			if !v.Type().SubtypeOf(in.TypeParam) {
+				guardFails++
+				m.Meter.Charge(guardFailPenalty)
+				if out, done := m.jumpOrExit(code, act, in.Target1, guardFails); done {
+					return out
+				} else {
+					ip = out.BCOff // reused as instr index
+					continue
+				}
+			}
+		case vasm.GuardCls:
+			v := act.get(in.A)
+			if v.Kind != types.KObj || int64(v.O.Class.ClassID) != in.I64 {
+				guardFails++
+				m.Meter.Charge(guardFailPenalty)
+				if out, done := m.jumpOrExit(code, act, in.Target1, guardFails); done {
+					return out
+				} else {
+					ip = out.BCOff
+					continue
+				}
+			}
+
+		case vasm.AddI:
+			act.set(in.D, runtime.Int(act.get(in.A).I+act.get(in.B).I))
+		case vasm.SubI:
+			act.set(in.D, runtime.Int(act.get(in.A).I-act.get(in.B).I))
+		case vasm.MulI:
+			act.set(in.D, runtime.Int(act.get(in.A).I*act.get(in.B).I))
+		case vasm.NegI:
+			act.set(in.D, runtime.Int(-act.get(in.A).I))
+		case vasm.AddD:
+			act.set(in.D, runtime.Dbl(act.get(in.A).D+act.get(in.B).D))
+		case vasm.SubD:
+			act.set(in.D, runtime.Dbl(act.get(in.A).D-act.get(in.B).D))
+		case vasm.MulD:
+			act.set(in.D, runtime.Dbl(act.get(in.A).D*act.get(in.B).D))
+		case vasm.DivD:
+			b := act.get(in.B).D
+			if b == 0 {
+				out := m.throwTo(code, act, in.Target1,
+					runtime.NewError("division by zero"), guardFails)
+				if out != nil {
+					return *out
+				}
+			}
+			act.set(in.D, runtime.Dbl(act.get(in.A).D/b))
+		case vasm.NegD:
+			act.set(in.D, runtime.Dbl(-act.get(in.A).D))
+		case vasm.CmpI:
+			act.set(in.D, runtime.Bool(cmpI(in.I64&0xff, act.get(in.A).I, act.get(in.B).I)))
+		case vasm.CmpD:
+			act.set(in.D, runtime.Bool(cmpD(in.I64&0xff, act.get(in.A).D, act.get(in.B).D)))
+
+		case vasm.ToBool:
+			act.set(in.D, runtime.Bool(act.get(in.A).Bool()))
+		case vasm.ToInt:
+			act.set(in.D, runtime.Int(act.get(in.A).ToInt()))
+		case vasm.ToDbl:
+			act.set(in.D, runtime.Dbl(act.get(in.A).ToDbl()))
+
+		case vasm.IncRef:
+			h.IncRef(act.get(in.A))
+		case vasm.DecRef:
+			h.DecRef(act.get(in.A))
+
+		case vasm.ArrCount:
+			act.set(in.D, runtime.Int(int64(act.get(in.A).A.Len())))
+		case vasm.ArrGetPkI:
+			arr := act.get(in.A)
+			el, ok := arr.A.GetIntKey(act.get(in.B).I)
+			if !ok || el.Kind == types.KUninit {
+				el = runtime.Null()
+				m.Meter.Charge(helperCost[vasm.HArrGetPackedMiss])
+			}
+			h.IncRef(el)
+			act.set(in.D, el)
+
+		case vasm.LdProp:
+			act.set(in.D, act.get(in.A).O.GetPropSlot(int(in.I64)))
+		case vasm.StProp:
+			act.get(in.A).O.SetPropSlot(h, int(in.I64), act.get(in.B))
+		case vasm.LdThis:
+			if fr.This == nil {
+				out := m.throwTo(code, act, -1,
+					runtime.NewError("using $this outside object context"), guardFails)
+				return *out
+			}
+			act.set(in.D, runtime.ObjV(fr.This))
+
+		case vasm.Helper:
+			hid, extra := vasm.UnpackHelper(in.I64)
+			m.Meter.Charge(helperCost[hid])
+			res, err := m.runHelper(act, hid, extra, in)
+			if err != nil {
+				out := m.throwTo(code, act, in.Target1, err, guardFails)
+				if out != nil {
+					return *out
+				}
+				continue
+			}
+			if in.D != vasm.InvalidReg {
+				act.set(in.D, res)
+			}
+
+		case vasm.CallFunc, vasm.CallBuiltin, vasm.CallMethodD, vasm.CallMethodC:
+			res, err := m.runCall(act, in)
+			if err != nil {
+				out := m.throwTo(code, act, in.Target1, err, guardFails)
+				if out != nil {
+					return *out
+				}
+				continue
+			}
+			m.Meter.Charge(callReturnCost)
+			if in.D != vasm.InvalidReg {
+				act.set(in.D, res)
+			}
+
+		case vasm.CountInc:
+			if m.Counters != nil {
+				m.Counters.Inc(profile.TransID(in.I64))
+			}
+		case vasm.ProfCallSite:
+			if m.Counters != nil {
+				v := act.get(in.A)
+				if v.Kind == types.KObj {
+					m.Counters.RecordCallTarget(
+						profile.CallSite{FuncID: fr.Fn.ID, PC: int(in.I64)},
+						v.O.Class.Name)
+				}
+			}
+
+		case vasm.Jmp:
+			ip = code.BlockIndex[in.Target1]
+			continue
+		case vasm.Jcc:
+			cond := act.get(in.A).Bool()
+			if in.I64&0x100 != 0 { // inverted by jump optimization
+				cond = !cond
+			}
+			if cond {
+				ip = code.BlockIndex[in.Target1]
+				continue
+			}
+			ip = code.BlockIndex[in.Target2]
+			continue
+		case vasm.JmpTable:
+			tbl := code.Tables[in.I64]
+			idx := act.get(in.A).ToInt() - tbl.Base
+			if idx >= 0 && idx < int64(len(tbl.Targets)) {
+				ip = code.BlockIndex[tbl.Targets[idx]]
+			} else {
+				ip = code.BlockIndex[tbl.Default]
+			}
+			continue
+
+		case vasm.Ret:
+			v := act.get(in.A)
+			m.Meter.Charge(uint64(2 * len(fr.Locals))) // frame teardown
+			fr.Stack = fr.Stack[:0]
+			frameRelease(m.Env, fr)
+			return Outcome{Kind: Returned, Value: v, GuardFails: guardFails}
+
+		case vasm.Exit:
+			return m.takeExit(act, in.Ex, SideExit, nil, guardFails)
+		case vasm.BindJmp:
+			out := m.takeExit(act, in.Ex, BindRequest, nil, guardFails)
+			out.BCOff = int(in.I64)
+			return out
+
+		default:
+			return Outcome{Kind: Threw, BCOff: fr.PC, GuardFails: guardFails,
+				Err: runtime.NewError("machine: bad opcode %s", in.Op)}
+		}
+		ip++
+	}
+}
+
+func (m *Machine) setImm(act *activation, d vasm.Reg, iv vasm.ImmValue) {
+	switch iv.Kind {
+	case types.KInt:
+		act.set(d, runtime.Int(iv.I))
+	case types.KDbl:
+		act.set(d, runtime.Dbl(iv.D))
+	case types.KBool:
+		act.set(d, runtime.Bool(iv.I != 0))
+	case types.KStr:
+		act.set(d, runtime.StrV(runtime.InternStr(iv.S)))
+	case types.KUninit:
+		act.set(d, runtime.Uninit())
+	default:
+		act.set(d, runtime.Null())
+	}
+}
+
+// jumpOrExit handles a guard-fail target: a chained block (returns
+// its instruction index via Outcome.BCOff with done=false) or an exit
+// stub block (executes it; done=true).
+func (m *Machine) jumpOrExit(code *mcode.Code, act *activation, target int, guardFails int) (Outcome, bool) {
+	idx, ok := code.BlockIndex[target]
+	if !ok {
+		return Outcome{Kind: Threw, Err: runtime.NewError("machine: bad guard target"),
+			GuardFails: guardFails}, true
+	}
+	// Exit stubs consist of a single Exit instruction.
+	if idx < len(code.Instrs) && code.Instrs[idx].Op == vasm.Exit {
+		m.Meter.Charge(opCost(vasm.Exit))
+		return m.takeExit(act, code.Instrs[idx].Ex, SideExit, nil, guardFails), true
+	}
+	return Outcome{BCOff: idx}, false
+}
+
+// throwTo routes a guest error through the instruction's catch stub,
+// materializing frame state; returns the final outcome (nil never —
+// kept pointer-shaped for call-site brevity).
+func (m *Machine) throwTo(code *mcode.Code, act *activation, stub int, err error, guardFails int) *Outcome {
+	var ex *vasm.ExitInfo
+	if stub >= 0 {
+		if idx, ok := code.BlockIndex[stub]; ok && idx < len(code.Instrs) &&
+			code.Instrs[idx].Op == vasm.Exit {
+			ex = code.Instrs[idx].Ex
+		}
+	}
+	out := m.takeExit(act, ex, Threw, err, guardFails)
+	return &out
+}
+
+// takeExit materializes VM state per the exit descriptor.
+func (m *Machine) takeExit(act *activation, ex *vasm.ExitInfo, kind OutcomeKind, err error, guardFails int) Outcome {
+	fr := act.fr
+	out := Outcome{Kind: kind, Err: err, GuardFails: guardFails}
+	if ex == nil {
+		out.BCOff = fr.PC
+		fr.Stack = fr.Stack[:0]
+		return out
+	}
+	out.BCOff = ex.BCOff
+	if ex.Inline != nil {
+		// Materialize the whole chain of inlined callee frames from
+		// the extended local slots (Section 5.3.1: side exits can
+		// materialize an arbitrary number of callee frames),
+		// innermost first. The eval stack of frame i comes from the
+		// CallerStackRegs of the context one level in; the innermost
+		// frame's stack is the exit's own StackRegs.
+		stackFor := func(regs []vasm.Reg) []runtime.Value {
+			var s []runtime.Value
+			for _, r := range regs {
+				s = append(s, act.get(r))
+			}
+			return s
+		}
+		innerStack := stackFor(ex.StackRegs)
+		innerPC := ex.BCOff
+		for ii := ex.Inline; ii != nil; ii = ii.Parent {
+			callee := m.Env.Unit.Funcs[ii.FuncID]
+			cf := &interp.Frame{Fn: callee, PC: innerPC, Stack: innerStack}
+			cf.Locals = make([]runtime.Value, callee.NumLocals)
+			for i := 0; i < callee.NumLocals; i++ {
+				cf.Locals[i] = fr.Locals[ii.LocalsBase+i]
+				fr.Locals[ii.LocalsBase+i] = runtime.Uninit()
+			}
+			if ii.ThisReg != vasm.InvalidReg {
+				if tv := act.get(ii.ThisReg); tv.Kind == types.KObj {
+					cf.This = tv.O
+				}
+			}
+			out.Inline = append(out.Inline, InlineResume{Frame: cf, RetBCOff: ii.RetBCOff})
+			// The enclosing frame resumes after this context's call.
+			innerStack = stackFor(ii.CallerStackRegs)
+			innerPC = ii.RetBCOff
+		}
+		// The root frame's stack is the outermost caller stack.
+		fr.Stack = innerStack
+		return out
+	}
+	fr.Stack = fr.Stack[:0]
+	for _, r := range ex.StackRegs {
+		fr.Stack = append(fr.Stack, act.get(r))
+	}
+	fr.PC = ex.BCOff
+	return out
+}
+
+// frameRelease mirrors interp's frame teardown.
+func frameRelease(env *interp.Env, fr *interp.Frame) {
+	for i, v := range fr.Locals {
+		env.Heap.DecRef(v)
+		fr.Locals[i] = runtime.Uninit()
+	}
+	for _, it := range fr.Iters {
+		if it != nil {
+			env.Heap.DecRef(runtime.ArrV(it.Arr()))
+		}
+	}
+	fr.Iters = nil
+}
+
+func cmpI(cond, a, b int64) bool {
+	switch cond {
+	case 0:
+		return a < b
+	case 1:
+		return a <= b
+	case 2:
+		return a > b
+	case 3:
+		return a >= b
+	case 4:
+		return a == b
+	default:
+		return a != b
+	}
+}
+
+func cmpD(cond int64, a, b float64) bool {
+	switch cond {
+	case 0:
+		return a < b
+	case 1:
+		return a <= b
+	case 2:
+		return a > b
+	case 3:
+		return a >= b
+	case 4:
+		return a == b
+	default:
+		return a != b
+	}
+}

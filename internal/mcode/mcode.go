@@ -1,0 +1,249 @@
+// Package mcode implements the simulated code cache: assembly of
+// laid-out Vasm into addressed code, allocation of hot/cold/frozen
+// areas, relocation (used when optimized translations are published
+// in function-sorted order), and huge-page mapping of the hot area.
+package mcode
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vasm"
+)
+
+// Code is one assembled translation: the flattened instruction
+// stream in layout order with per-instruction addresses.
+type Code struct {
+	Instrs []vasm.Instr
+	// Addr[i] is the simulated address of Instrs[i].
+	Addr []uint64
+	// BlockIndex maps vasm block id -> index into Instrs of its first
+	// instruction.
+	BlockIndex map[int]int
+	// Imms is the constant pool.
+	Imms []vasm.ImmValue
+	// Tables holds JmpTable jump tables.
+	Tables []vasm.JumpTable
+	// NumSpills / ExtSlots size the activation's spill area and
+	// extended frame.
+	NumSpills int
+	ExtSlots  int
+
+	// Base and Size give the translation's placement.
+	Base uint64
+	Size uint64
+}
+
+// instrSize models encoded instruction sizes (bytes) for address
+// assignment; the values approximate x86-64 encodings.
+func instrSize(in *vasm.Instr) uint64 {
+	switch in.Op {
+	case vasm.Nop:
+		return 0
+	case vasm.Jmp:
+		if in.I64&1 != 0 {
+			return 0 // fallthrough after jump optimization
+		}
+		return 5
+	case vasm.Jcc:
+		return 6
+	case vasm.JmpTable:
+		return 14 // bounds check + indexed load + indirect jump
+	case vasm.LdImm:
+		return 10
+	case vasm.Copy:
+		return 3
+	case vasm.LdLoc, vasm.StLoc, vasm.LdStk, vasm.Spill, vasm.Reload:
+		return 8 // 16-byte cell moves
+	case vasm.GuardKind, vasm.GuardCls:
+		return 10 // cmp + jcc
+	case vasm.IncRef, vasm.DecRef:
+		return 12 // check + inc/dec + branch
+	case vasm.Helper:
+		return 14 // arg moves + call
+	case vasm.CallFunc, vasm.CallMethodD, vasm.CallMethodC, vasm.CallBuiltin:
+		return 20
+	case vasm.Ret:
+		return 8
+	case vasm.Exit, vasm.BindJmp:
+		return 16
+	case vasm.CountInc, vasm.ProfCallSite:
+		return 7
+	case vasm.ArrCount, vasm.LdProp, vasm.StProp, vasm.LdThis:
+		return 8
+	case vasm.ArrGetPkI:
+		return 14
+	default:
+		return 5 // ALU ops
+	}
+}
+
+// Assemble flattens a laid-out, register-allocated unit. Addresses
+// are relative to 0 until Place assigns a base.
+func Assemble(u *vasm.Unit) *Code {
+	order := u.Layout
+	if order == nil {
+		order = make([]int, len(u.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	c := &Code{BlockIndex: map[int]int{}, Imms: u.Imms, Tables: u.Tables,
+		NumSpills: u.NumSpills, ExtSlots: u.ExtFrameSlots}
+	var off uint64
+	for _, bi := range order {
+		b := u.Blocks[bi]
+		c.BlockIndex[bi] = len(c.Instrs)
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			c.Instrs = append(c.Instrs, in)
+			c.Addr = append(c.Addr, off)
+			off += instrSize(&b.Instrs[i])
+		}
+	}
+	// Jump tables live in the translation's rodata: count them into
+	// the footprint (8 bytes per entry).
+	for _, tbl := range u.Tables {
+		off += uint64(8 * (len(tbl.Targets) + 1))
+	}
+	c.Size = off
+	// Empty blocks at the end of the layout need an index too.
+	for _, bi := range order {
+		if _, ok := c.BlockIndex[bi]; !ok {
+			c.BlockIndex[bi] = len(c.Instrs)
+		}
+	}
+	for i := range c.Instrs {
+		if c.Instrs[i].Op == vasm.LdImm && int(c.Instrs[i].I64) >= len(c.Imms) {
+			panic(fmt.Sprintf("mcode: LdImm #%d out of range (%d imms)\n%s",
+				c.Instrs[i].I64, len(c.Imms), u.String()))
+		}
+	}
+	return c
+}
+
+// Place rebases the code at base.
+func (c *Code) Place(base uint64) {
+	c.Base = base
+}
+
+// AddrOf returns the absolute address of instruction i.
+func (c *Code) AddrOf(i int) uint64 {
+	if i < len(c.Addr) {
+		return c.Base + c.Addr[i]
+	}
+	return c.Base + c.Size
+}
+
+// Area identifies code-cache regions.
+type Area int
+
+const (
+	AreaHot Area = iota
+	AreaCold
+	AreaProfile
+	AreaLive
+	AreaCount
+)
+
+// Cache is the simulated code cache. Each area is a bump allocator;
+// the total byte budget models the JITed-code limit swept in the
+// paper's Figure 11 experiment.
+type Cache struct {
+	mu    sync.Mutex
+	limit uint64
+	used  [AreaCount]uint64
+	next  [AreaCount]uint64
+
+	// HugeBytes of the hot area are mapped with 2 MiB pages when
+	// huge-page mapping is enabled.
+	hugeBytes uint64
+}
+
+// Area base addresses, spaced far apart so areas never collide.
+var areaBase = [AreaCount]uint64{
+	AreaHot:     0x0800_0000,
+	AreaCold:    0x4000_0000,
+	AreaProfile: 0x8000_0000,
+	AreaLive:    0xC000_0000,
+}
+
+// NewCache creates a cache with a byte limit (0 = unlimited).
+func NewCache(limit uint64) *Cache {
+	return &Cache{limit: limit}
+}
+
+// SetHugePages maps the first bytes of the hot area onto 2 MiB pages.
+func (c *Cache) SetHugePages(bytes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hugeBytes = bytes
+}
+
+// HugeCovers reports whether addr falls in the huge-page-mapped
+// region.
+func (c *Cache) HugeCovers(addr uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hugeBytes > 0 && addr >= areaBase[AreaHot] &&
+		addr < areaBase[AreaHot]+c.hugeBytes
+}
+
+// Alloc reserves size bytes in an area, returning the base address.
+// It fails when the total limit would be exceeded (the VM then stops
+// JITing, falling back to the interpreter — point D in Figure 9).
+func (c *Cache) Alloc(area Area, size uint64) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limit > 0 && c.TotalUsedLocked()+size > c.limit {
+		return 0, fmt.Errorf("mcode: code cache full (limit %d)", c.limit)
+	}
+	base := areaBase[area] + c.next[area]
+	c.next[area] += size
+	c.used[area] += size
+	return base, nil
+}
+
+// Free returns bytes to the budget (profiling code is discarded after
+// the optimized translations are published).
+func (c *Cache) Free(area Area, size uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used[area] >= size {
+		c.used[area] -= size
+	}
+}
+
+// ResetArea clears an area's allocation point (relocation pass).
+func (c *Cache) ResetArea(area Area) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.used[area] = 0
+	c.next[area] = 0
+}
+
+// TotalUsed returns bytes allocated across areas.
+func (c *Cache) TotalUsed() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.TotalUsedLocked()
+}
+
+// TotalUsedLocked is TotalUsed without locking (internal).
+func (c *Cache) TotalUsedLocked() uint64 {
+	var t uint64
+	for _, u := range c.used {
+		t += u
+	}
+	return t
+}
+
+// AreaUsed returns bytes allocated in one area.
+func (c *Cache) AreaUsed(a Area) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used[a]
+}
+
+// Limit returns the configured byte budget.
+func (c *Cache) Limit() uint64 { return c.limit }

@@ -1,0 +1,61 @@
+package mcode_test
+
+import (
+	"testing"
+
+	"repro/internal/mcode"
+)
+
+func TestCacheBudget(t *testing.T) {
+	c := mcode.NewCache(100)
+	if _, err := c.Alloc(mcode.AreaHot, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(mcode.AreaLive, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Alloc(mcode.AreaHot, 20); err == nil {
+		t.Error("allocation beyond the limit succeeded")
+	}
+	c.Free(mcode.AreaLive, 30)
+	if _, err := c.Alloc(mcode.AreaHot, 20); err != nil {
+		t.Errorf("allocation after free failed: %v", err)
+	}
+	if c.TotalUsed() != 80 {
+		t.Errorf("used = %d", c.TotalUsed())
+	}
+}
+
+func TestAreasDoNotOverlap(t *testing.T) {
+	c := mcode.NewCache(0)
+	a, _ := c.Alloc(mcode.AreaHot, 1<<20)
+	b, _ := c.Alloc(mcode.AreaCold, 1<<20)
+	p, _ := c.Alloc(mcode.AreaProfile, 1<<20)
+	if a == b || b == p || a == p {
+		t.Error("area base addresses collide")
+	}
+}
+
+func TestHugePageCoverage(t *testing.T) {
+	c := mcode.NewCache(0)
+	base, _ := c.Alloc(mcode.AreaHot, 4096)
+	if c.HugeCovers(base) {
+		t.Error("huge coverage before SetHugePages")
+	}
+	c.SetHugePages(4096)
+	if !c.HugeCovers(base) {
+		t.Error("hot code not huge-covered after SetHugePages")
+	}
+	if c.HugeCovers(base + 1<<30) {
+		t.Error("unrelated address huge-covered")
+	}
+}
+
+func TestSequentialAddresses(t *testing.T) {
+	c := mcode.NewCache(0)
+	a, _ := c.Alloc(mcode.AreaHot, 100)
+	b, _ := c.Alloc(mcode.AreaHot, 100)
+	if b != a+100 {
+		t.Errorf("bump allocation not sequential: %x then %x", a, b)
+	}
+}

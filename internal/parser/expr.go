@@ -1,0 +1,454 @@
+package parser
+
+import (
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// Binary operator precedence (higher binds tighter), mirroring PHP.
+var binPrec = map[string]int{
+	"or": 1, "xor": 2, "and": 3,
+	"||": 5, "&&": 6,
+	"|": 7, "^": 8, "&": 9,
+	"==": 10, "!=": 10, "===": 10, "!==": 10, "<=>": 10,
+	"<": 11, "<=": 11, ">": 11, ">=": 11,
+	"<<": 12, ">>": 12,
+	"+": 13, "-": 13, ".": 13,
+	"*": 14, "/": 14, "%": 14,
+	"instanceof": 15,
+}
+
+// expr parses a full expression including assignment and ternary.
+func (p *Parser) expr() (ast.Expr, error) {
+	return p.assignExpr()
+}
+
+func (p *Parser) assignExpr() (ast.Expr, error) {
+	lhs, err := p.ternaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == lexer.TOp {
+		op := p.cur().Text
+		var compound string
+		switch op {
+		case "=":
+			compound = ""
+		case "+=", "-=", "*=", "/=", ".=", "%=":
+			compound = op[:1]
+		default:
+			return lhs, nil
+		}
+		if !isLValue(lhs) {
+			return nil, p.errf("invalid assignment target")
+		}
+		p.next()
+		rhs, err := p.assignExpr() // right-assoc
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Assign{Target: lhs, Op: compound, Value: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func isLValue(e ast.Expr) bool {
+	switch e.(type) {
+	case *ast.Var, *ast.Index, *ast.Prop:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) ternaryExpr() (ast.Expr, error) {
+	cond, err := p.binExpr(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isOp("?") {
+		return cond, nil
+	}
+	p.next()
+	var then ast.Expr
+	if !p.isOp(":") {
+		then, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectOp(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Ternary{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *Parser) peekBinOp() (string, int, bool) {
+	t := p.cur()
+	if t.Kind == lexer.TOp {
+		if prec, ok := binPrec[t.Text]; ok {
+			return t.Text, prec, true
+		}
+	}
+	if t.Kind == lexer.TIdent {
+		lo := strings.ToLower(t.Text)
+		if prec, ok := binPrec[lo]; ok {
+			return lo, prec, true
+		}
+	}
+	return "", 0, false
+}
+
+func (p *Parser) binExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec, ok := p.peekBinOp()
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		if op == "instanceof" {
+			cls, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &ast.InstanceOf{E: lhs, Class: cls}
+			continue
+		}
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "and":
+			op = "&&"
+		case "or":
+			op = "||"
+		}
+		lhs = &ast.Binop{Op: op, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) unaryExpr() (ast.Expr, error) {
+	switch {
+	case p.isOp("-"):
+		p.next()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unop{Op: "-", E: e}, nil
+	case p.isOp("!"):
+		p.next()
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unop{Op: "!", E: e}, nil
+	case p.isOp("+"):
+		p.next()
+		return p.unaryExpr()
+	case p.isOp("++"), p.isOp("--"):
+		inc := p.next().Text == "++"
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(e) {
+			return nil, p.errf("invalid increment target")
+		}
+		return &ast.IncDec{Target: e, Inc: inc, Pre: true}, nil
+	case p.isOp("("):
+		// possible cast
+		if p.pos+2 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == lexer.TIdent &&
+			p.toks[p.pos+2].Kind == lexer.TOp && p.toks[p.pos+2].Text == ")" {
+			ty := strings.ToLower(p.toks[p.pos+1].Text)
+			switch ty {
+			case "int", "integer", "float", "double", "string", "bool", "boolean":
+				p.next()
+				p.next()
+				p.next()
+				e, err := p.unaryExpr()
+				if err != nil {
+					return nil, err
+				}
+				switch ty {
+				case "integer":
+					ty = "int"
+				case "double":
+					ty = "float"
+				case "boolean":
+					ty = "bool"
+				}
+				return &ast.Cast{To: ty, E: e}, nil
+			}
+		}
+		return p.postfixExpr()
+	default:
+		return p.postfixExpr()
+	}
+}
+
+func (p *Parser) postfixExpr() (ast.Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isOp("["):
+			p.next()
+			if p.isOp("]") {
+				p.next()
+				e = &ast.Index{Arr: e, Key: nil} // $a[] append form
+				continue
+			}
+			key, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &ast.Index{Arr: e, Key: key}
+		case p.isOp("->"):
+			p.next()
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if p.isOp("(") {
+				args, err := p.argList()
+				if err != nil {
+					return nil, err
+				}
+				e = &ast.MethodCall{Recv: e, Name: name, Args: args}
+			} else {
+				e = &ast.Prop{Recv: e, Name: name}
+			}
+		case p.isOp("++"), p.isOp("--"):
+			if !isLValue(e) {
+				return e, nil
+			}
+			inc := p.next().Text == "++"
+			e = &ast.IncDec{Target: e, Inc: inc, Pre: false}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) argList() ([]ast.Expr, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	for !p.isOp(")") {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return args, p.expectOp(")")
+}
+
+func (p *Parser) primaryExpr() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case lexer.TInt:
+		p.next()
+		return &ast.IntLit{Value: t.Int}, nil
+	case lexer.TFloat:
+		p.next()
+		return &ast.FloatLit{Value: t.Dbl}, nil
+	case lexer.TString:
+		p.next()
+		if t.Text == "\"" && strings.ContainsRune(t.Str, '$') {
+			return interpolate(t.Str), nil
+		}
+		return &ast.StringLit{Value: t.Str}, nil
+	case lexer.TVar:
+		p.next()
+		if t.Text == "this" {
+			return &ast.ThisExpr{}, nil
+		}
+		return &ast.Var{Name: t.Text}, nil
+	case lexer.TIdent:
+		lo := strings.ToLower(t.Text)
+		switch lo {
+		case "true":
+			p.next()
+			return &ast.BoolLit{Value: true}, nil
+		case "false":
+			p.next()
+			return &ast.BoolLit{Value: false}, nil
+		case "null":
+			p.next()
+			return &ast.NullLit{}, nil
+		case "new":
+			p.next()
+			cls, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			var args []ast.Expr
+			if p.isOp("(") {
+				args, err = p.argList()
+				if err != nil {
+					return nil, err
+				}
+			}
+			return &ast.New{Class: cls, Args: args}, nil
+		case "isset":
+			p.next()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ast.Isset{E: e}, nil
+		case "array":
+			// array( ... ) literal
+			p.next()
+			if p.isOp("(") {
+				return p.arrayLit("(", ")")
+			}
+			return nil, p.errf("expected ( after array")
+		}
+		// function call, static call, or bare constant-like ident
+		name := p.next().Text
+		if p.isOp("::") {
+			p.next()
+			meth, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.StaticCall{Class: name, Name: meth, Args: args}, nil
+		}
+		if p.isOp("(") {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Call{Name: name, Args: args}, nil
+		}
+		// Bare identifier: treat as string constant (PHP legacy).
+		return &ast.StringLit{Value: name}, nil
+	case lexer.TOp:
+		switch t.Text {
+		case "(":
+			p.next()
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expectOp(")")
+		case "[":
+			return p.arrayLit("[", "]")
+		}
+	}
+	return nil, p.errf("unexpected token %s", t)
+}
+
+func (p *Parser) arrayLit(open, close string) (ast.Expr, error) {
+	if err := p.expectOp(open); err != nil {
+		return nil, err
+	}
+	lit := &ast.ArrayLit{}
+	for !p.isOp(close) {
+		first, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.acceptOp("=>") {
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Keys = append(lit.Keys, first)
+			lit.Vals = append(lit.Vals, val)
+			lit.IsMap = true
+		} else {
+			lit.Keys = append(lit.Keys, nil)
+			lit.Vals = append(lit.Vals, first)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return lit, p.expectOp(close)
+}
+
+// interpolate splits a double-quoted string containing $vars into an
+// Interp node of literal and variable parts. Supports $name and
+// {$name} forms.
+func interpolate(s string) ast.Expr {
+	var parts []ast.Expr
+	var lit strings.Builder
+	flush := func() {
+		if lit.Len() > 0 {
+			parts = append(parts, &ast.StringLit{Value: lit.String()})
+			lit.Reset()
+		}
+	}
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c == '$' && i+1 < len(s) && isNameStart(s[i+1]) {
+			j := i + 1
+			for j < len(s) && isNameChar(s[j]) {
+				j++
+			}
+			flush()
+			parts = append(parts, &ast.Var{Name: s[i+1 : j]})
+			i = j
+			continue
+		}
+		if c == '{' && i+1 < len(s) && s[i+1] == '$' {
+			j := i + 2
+			for j < len(s) && isNameChar(s[j]) {
+				j++
+			}
+			if j < len(s) && s[j] == '}' {
+				flush()
+				parts = append(parts, &ast.Var{Name: s[i+2 : j]})
+				i = j + 1
+				continue
+			}
+		}
+		lit.WriteByte(c)
+		i++
+	}
+	flush()
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return &ast.Interp{Parts: parts}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isNameChar(c byte) bool { return isNameStart(c) || c >= '0' && c <= '9' }

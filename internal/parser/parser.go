@@ -1,0 +1,604 @@
+// Package parser builds an AST from PHP-subset source text using
+// recursive descent with precedence climbing for expressions.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+)
+
+// Parser consumes a token stream.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+}
+
+// Error is a parse error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a whole program.
+func Parse(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	prog := &ast.Program{}
+	for !p.atEOF() {
+		switch {
+		case p.isIdent("function"):
+			f, err := p.funcDecl("")
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		case p.isIdent("class"), p.isIdent("interface"):
+			c, err := p.classDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, c)
+		default:
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			prog.Main = append(prog.Main, s)
+		}
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() lexer.Token  { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool       { return p.cur().Kind == lexer.TEOF }
+func (p *Parser) next() lexer.Token { t := p.cur(); p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) isOp(op string) bool {
+	return p.cur().Kind == lexer.TOp && p.cur().Text == op
+}
+
+func (p *Parser) isIdent(kw string) bool {
+	return p.cur().Kind == lexer.TIdent && strings.EqualFold(p.cur().Text, kw)
+}
+
+func (p *Parser) acceptOp(op string) bool {
+	if p.isOp(op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptIdent(kw string) bool {
+	if p.isIdent(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %s", op, p.cur())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	if p.cur().Kind != lexer.TIdent {
+		return "", p.errf("expected identifier, found %s", p.cur())
+	}
+	return p.next().Text, nil
+}
+
+func (p *Parser) posOf() (int, int) {
+	t := p.cur()
+	return t.Line, t.Col
+}
+
+// ---------- declarations ----------
+
+func (p *Parser) funcDecl(class string) (*ast.FuncDecl, error) {
+	line, col := p.posOf()
+	p.next() // function
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	// Optional return type hint ": type" — parsed and discarded, like
+	// HHVM discards deep Hack hints at runtime.
+	if p.acceptOp(":") {
+		p.acceptOp("?")
+		if _, err := p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f := &ast.FuncDecl{Name: name, Params: params, Body: body, Class: class}
+	f.SetPos(line, col)
+	return f, nil
+}
+
+func (p *Parser) paramList() ([]ast.Param, error) {
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	var params []ast.Param
+	for !p.isOp(")") {
+		var prm ast.Param
+		if p.acceptOp("?") {
+			prm.Nullable = true
+		}
+		if p.cur().Kind == lexer.TIdent {
+			prm.TypeHint = strings.ToLower(p.next().Text)
+			if prm.TypeHint != "int" && prm.TypeHint != "float" &&
+				prm.TypeHint != "string" && prm.TypeHint != "bool" &&
+				prm.TypeHint != "array" {
+				// class hint: keep original case
+				prm.TypeHint = p.toks[p.pos-1].Text
+			}
+		}
+		if p.cur().Kind != lexer.TVar {
+			return nil, p.errf("expected parameter variable, found %s", p.cur())
+		}
+		prm.Name = p.next().Text
+		if p.acceptOp("=") {
+			def, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			prm.Default = def
+		}
+		params = append(params, prm)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+func (p *Parser) classDecl() (*ast.ClassDecl, error) {
+	isIface := p.isIdent("interface")
+	p.next() // class | interface
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	c := &ast.ClassDecl{Name: name, IsInterface: isIface}
+	if p.acceptIdent("extends") {
+		c.Parent, err = p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptIdent("implements") {
+		for {
+			iface, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			c.Ifaces = append(c.Ifaces, iface)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	for !p.isOp("}") {
+		// visibility modifiers are accepted and ignored
+		for p.isIdent("public") || p.isIdent("private") || p.isIdent("protected") {
+			p.next()
+		}
+		static := p.acceptIdent("static")
+		switch {
+		case p.isIdent("function"):
+			m, err := p.funcDecl(name)
+			if err != nil {
+				return nil, err
+			}
+			m.Static = static
+			c.Methods = append(c.Methods, m)
+		case p.cur().Kind == lexer.TVar:
+			prop := ast.PropDecl{Name: p.next().Text}
+			if p.acceptOp("=") {
+				def, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				prop.Default = def
+			}
+			if err := p.expectOp(";"); err != nil {
+				return nil, err
+			}
+			c.Props = append(c.Props, prop)
+		default:
+			return nil, p.errf("expected class member, found %s", p.cur())
+		}
+	}
+	return c, p.expectOp("}")
+}
+
+// ---------- statements ----------
+
+func (p *Parser) block() ([]ast.Stmt, error) {
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	for !p.isOp("}") {
+		if p.atEOF() {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+// blockOrStmt parses { ... } or a single statement.
+func (p *Parser) blockOrStmt() ([]ast.Stmt, error) {
+	if p.isOp("{") {
+		return p.block()
+	}
+	s, err := p.stmt()
+	if err != nil {
+		return nil, err
+	}
+	return []ast.Stmt{s}, nil
+}
+
+func (p *Parser) stmt() (ast.Stmt, error) {
+	switch {
+	case p.isIdent("echo"):
+		p.next()
+		var args []ast.Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		return &ast.Echo{Args: args}, p.expectOp(";")
+	case p.isIdent("return"):
+		p.next()
+		r := &ast.Return{}
+		if !p.isOp(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.E = e
+		}
+		return r, p.expectOp(";")
+	case p.isIdent("if"):
+		return p.ifStmt()
+	case p.isIdent("while"):
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.While{Cond: cond, Body: body}, nil
+	case p.isIdent("for"):
+		return p.forStmt()
+	case p.isIdent("foreach"):
+		return p.foreachStmt()
+	case p.isIdent("break"):
+		p.next()
+		return &ast.Break{}, p.expectOp(";")
+	case p.isIdent("continue"):
+		p.next()
+		return &ast.Continue{}, p.expectOp(";")
+	case p.isIdent("throw"):
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Throw{E: e}, p.expectOp(";")
+	case p.isIdent("try"):
+		return p.tryStmt()
+	case p.isIdent("switch"):
+		return p.switchStmt()
+	case p.isIdent("unset"):
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &ast.Unset{E: e}, p.expectOp(";")
+	case p.isOp("{"):
+		// bare block: flatten into an if(true) — rare; simplest is to
+		// parse and wrap.
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.If{Cond: &ast.BoolLit{Value: true}, Then: body}, nil
+	case p.isOp(";"):
+		p.next()
+		return &ast.ExprStmt{E: &ast.NullLit{}}, nil
+	default:
+		line, col := p.posOf()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		s := &ast.ExprStmt{E: e}
+		s.SetPos(line, col)
+		return s, p.expectOp(";")
+	}
+}
+
+func (p *Parser) ifStmt() (ast.Stmt, error) {
+	p.next() // if | elseif
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	node := &ast.If{Cond: cond, Then: then}
+	switch {
+	case p.isIdent("elseif"):
+		els, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []ast.Stmt{els}
+	case p.isIdent("else"):
+		p.next()
+		if p.isIdent("if") {
+			els, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = []ast.Stmt{els}
+		} else {
+			els, err := p.blockOrStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = els
+		}
+	}
+	return node, nil
+}
+
+func (p *Parser) forStmt() (ast.Stmt, error) {
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	node := &ast.For{}
+	for !p.isOp(";") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Init = append(node.Init, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	if !p.isOp(";") {
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Cond = cond
+	}
+	if err := p.expectOp(";"); err != nil {
+		return nil, err
+	}
+	for !p.isOp(")") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		node.Step = append(node.Step, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+func (p *Parser) foreachStmt() (ast.Stmt, error) {
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	arr, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.acceptIdent("as") {
+		return nil, p.errf("expected 'as' in foreach")
+	}
+	if p.cur().Kind != lexer.TVar {
+		return nil, p.errf("expected variable in foreach")
+	}
+	first := p.next().Text
+	node := &ast.Foreach{Arr: arr, ValVar: first}
+	if p.acceptOp("=>") {
+		if p.cur().Kind != lexer.TVar {
+			return nil, p.errf("expected value variable in foreach")
+		}
+		node.KeyVar = first
+		node.ValVar = p.next().Text
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	node.Body = body
+	return node, nil
+}
+
+func (p *Parser) tryStmt() (ast.Stmt, error) {
+	p.next()
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &ast.Try{Body: body}
+	for p.isIdent("catch") {
+		p.next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		cls, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != lexer.TVar {
+			return nil, p.errf("expected catch variable")
+		}
+		v := p.next().Text
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		cbody, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.Catches = append(node.Catches, ast.Catch{Class: cls, Var: v, Body: cbody})
+	}
+	if len(node.Catches) == 0 {
+		return nil, p.errf("try without catch")
+	}
+	return node, nil
+}
+
+func (p *Parser) switchStmt() (ast.Stmt, error) {
+	p.next()
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	subj, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("{"); err != nil {
+		return nil, err
+	}
+	node := &ast.Switch{Subject: subj}
+	for !p.isOp("}") {
+		switch {
+		case p.acceptIdent("case"):
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			node.Cases = append(node.Cases, ast.SwitchCase{Value: val, Body: body})
+		case p.acceptIdent("default"):
+			if err := p.expectOp(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.caseBody()
+			if err != nil {
+				return nil, err
+			}
+			node.Default = body
+		default:
+			return nil, p.errf("expected case/default, found %s", p.cur())
+		}
+	}
+	return node, p.expectOp("}")
+}
+
+func (p *Parser) caseBody() ([]ast.Stmt, error) {
+	var body []ast.Stmt
+	for !p.isIdent("case") && !p.isIdent("default") && !p.isOp("}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+	}
+	return body, nil
+}

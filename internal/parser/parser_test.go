@@ -1,0 +1,163 @@
+package parser_test
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestPrecedence(t *testing.T) {
+	p := parse(t, `$x = 1 + 2 * 3;`)
+	st := p.Main[0].(*ast.ExprStmt)
+	asg := st.E.(*ast.Assign)
+	add := asg.Value.(*ast.Binop)
+	if add.Op != "+" {
+		t.Fatalf("top op = %q", add.Op)
+	}
+	mul := add.R.(*ast.Binop)
+	if mul.Op != "*" {
+		t.Fatalf("* should bind tighter, got %q", mul.Op)
+	}
+}
+
+func TestRightAssocAssign(t *testing.T) {
+	p := parse(t, `$a = $b = 1;`)
+	outer := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign)
+	if _, ok := outer.Value.(*ast.Assign); !ok {
+		t.Fatal("assignment should be right-associative")
+	}
+}
+
+func TestStringInterpolation(t *testing.T) {
+	p := parse(t, `echo "a $x b {$y} c";`)
+	echo := p.Main[0].(*ast.Echo)
+	interp, ok := echo.Args[0].(*ast.Interp)
+	if !ok {
+		t.Fatalf("expected interpolation, got %T", echo.Args[0])
+	}
+	if len(interp.Parts) != 5 {
+		t.Fatalf("parts = %d, want 5", len(interp.Parts))
+	}
+	if v, ok := interp.Parts[1].(*ast.Var); !ok || v.Name != "x" {
+		t.Errorf("part 1 = %#v", interp.Parts[1])
+	}
+	if v, ok := interp.Parts[3].(*ast.Var); !ok || v.Name != "y" {
+		t.Errorf("part 3 = %#v", interp.Parts[3])
+	}
+}
+
+func TestSingleQuotesDoNotInterpolate(t *testing.T) {
+	p := parse(t, `echo '$x';`)
+	if _, ok := p.Main[0].(*ast.Echo).Args[0].(*ast.StringLit); !ok {
+		t.Error("single-quoted string interpolated")
+	}
+}
+
+func TestClassDecl(t *testing.T) {
+	p := parse(t, `
+class Foo extends Bar implements A, B {
+  public $x = 1;
+  private $y;
+  static function s() { return 1; }
+  function m(int $a, ?string $b = null) { return $a; }
+}`)
+	c := p.Classes[0]
+	if c.Name != "Foo" || c.Parent != "Bar" || len(c.Ifaces) != 2 {
+		t.Fatalf("class header wrong: %+v", c)
+	}
+	if len(c.Props) != 2 || len(c.Methods) != 2 {
+		t.Fatalf("members wrong: %d props, %d methods", len(c.Props), len(c.Methods))
+	}
+	if !c.Methods[0].Static {
+		t.Error("static not recorded")
+	}
+	m := c.Methods[1]
+	if m.Params[0].TypeHint != "int" || !m.Params[1].Nullable || m.Params[1].TypeHint != "string" {
+		t.Errorf("param hints wrong: %+v", m.Params)
+	}
+}
+
+func TestControlStructures(t *testing.T) {
+	p := parse(t, `
+for ($i = 0; $i < 3; $i++) { break; }
+foreach ($a as $k => $v) { continue; }
+while (true) { break; }
+switch ($n) { case 1: break; default: break; }
+try { f(); } catch (E $e) { g(); } catch (F $e) {}
+if ($x) {} elseif ($y) {} else {}
+`)
+	if len(p.Main) != 6 {
+		t.Fatalf("got %d statements", len(p.Main))
+	}
+	if tr, ok := p.Main[4].(*ast.Try); !ok || len(tr.Catches) != 2 {
+		t.Errorf("try/catch parse wrong: %#v", p.Main[4])
+	}
+	iff := p.Main[5].(*ast.If)
+	if iff.Else == nil {
+		t.Error("elseif chain lost")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`$x = ;`,
+		`function { }`,
+		`if ($x { }`,
+		`class X extends { }`,
+		`echo "unterminated;`,
+		`try { }`,
+		`1 +`,
+	}
+	for _, src := range bad {
+		if _, err := parser.Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestCastsAndTernary(t *testing.T) {
+	p := parse(t, `$x = (int)($a ? 1.5 : "2");`)
+	asg := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign)
+	cast, ok := asg.Value.(*ast.Cast)
+	if !ok || cast.To != "int" {
+		t.Fatalf("cast parse wrong: %#v", asg.Value)
+	}
+	if _, ok := cast.E.(*ast.Ternary); !ok {
+		t.Fatalf("ternary parse wrong: %#v", cast.E)
+	}
+}
+
+func TestMethodChainsAndIndexing(t *testing.T) {
+	p := parse(t, `$v = $a->b()->c[0]->d;`)
+	asg := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign)
+	prop, ok := asg.Value.(*ast.Prop)
+	if !ok || prop.Name != "d" {
+		t.Fatalf("outer should be prop d: %#v", asg.Value)
+	}
+	idx, ok := prop.Recv.(*ast.Index)
+	if !ok {
+		t.Fatalf("expected index below prop: %#v", prop.Recv)
+	}
+	if _, ok := idx.Arr.(*ast.Prop); !ok {
+		t.Fatalf("expected prop c below index: %#v", idx.Arr)
+	}
+}
+
+func TestAppendForm(t *testing.T) {
+	p := parse(t, `$a[] = 1;`)
+	asg := p.Main[0].(*ast.ExprStmt).E.(*ast.Assign)
+	idx := asg.Target.(*ast.Index)
+	if idx.Key != nil {
+		t.Error("append form should have nil key")
+	}
+}

@@ -1,0 +1,171 @@
+// Package profile holds the data gathered by profiling translations:
+// per-block execution counters, observed control-flow arcs, and
+// call-target histograms. The profile-guided region selector and the
+// optimizing JIT consume it.
+package profile
+
+import (
+	"sort"
+	"sync"
+)
+
+// TransID identifies one profiling translation (a type-specialized
+// basic block).
+type TransID int
+
+// Counters is the instrumentation store. The profiling JIT increments
+// a unique counter after each translation's type guards, so counter
+// values double as both basic-block frequencies and input-type
+// distributions (Section 4.1 of the paper).
+type Counters struct {
+	mu     sync.Mutex
+	counts []uint64
+	// arcs records observed transfers between profiling translations.
+	arcs map[Arc]uint64
+	// callTargets histograms callee classes at method-call sites:
+	// (funcID, bcPC) -> class name -> count.
+	callTargets map[CallSite]map[string]uint64
+	// funcCalls counts direct calls per callee funcID (for the
+	// whole-program call graph used by function sorting).
+	funcCalls map[CallArc]uint64
+}
+
+// Arc is an observed control transfer between translations.
+type Arc struct{ From, To TransID }
+
+// CallSite locates a method-call bytecode.
+type CallSite struct {
+	FuncID int
+	PC     int
+}
+
+// CallArc is a caller->callee edge in the dynamic call graph.
+type CallArc struct{ Caller, Callee int }
+
+// NewCounters returns an empty store.
+func NewCounters() *Counters {
+	return &Counters{
+		arcs:        map[Arc]uint64{},
+		callTargets: map[CallSite]map[string]uint64{},
+		funcCalls:   map[CallArc]uint64{},
+	}
+}
+
+// NewCounter allocates a fresh counter and returns its ID.
+func (c *Counters) NewCounter() TransID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts = append(c.counts, 0)
+	return TransID(len(c.counts) - 1)
+}
+
+// Inc bumps a counter (called from JITed profiling code; single
+// request thread per VM, so a plain add under the lock-free path
+// would do, but the store is shared across warmup threads).
+func (c *Counters) Inc(id TransID) {
+	c.mu.Lock()
+	c.counts[id]++
+	c.mu.Unlock()
+}
+
+// Count reads a counter.
+func (c *Counters) Count(id TransID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(id) < len(c.counts) {
+		return c.counts[id]
+	}
+	return 0
+}
+
+// RecordArc notes a from->to transfer between profiling translations.
+func (c *Counters) RecordArc(from, to TransID) {
+	c.mu.Lock()
+	c.arcs[Arc{from, to}]++
+	c.mu.Unlock()
+}
+
+// ArcCount reads an arc weight.
+func (c *Counters) ArcCount(from, to TransID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.arcs[Arc{from, to}]
+}
+
+// Arcs returns all arcs involving the given translations.
+func (c *Counters) Arcs(in map[TransID]bool) map[Arc]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[Arc]uint64)
+	for a, n := range c.arcs {
+		if in[a.From] || in[a.To] {
+			out[a] = n
+		}
+	}
+	return out
+}
+
+// RecordCallTarget histograms the receiver class at a method call.
+func (c *Counters) RecordCallTarget(site CallSite, class string) {
+	c.mu.Lock()
+	m := c.callTargets[site]
+	if m == nil {
+		m = map[string]uint64{}
+		c.callTargets[site] = m
+	}
+	m[class]++
+	c.mu.Unlock()
+}
+
+// TargetProfile summarizes a call site's receiver distribution.
+type TargetProfile struct {
+	Total uint64
+	// Classes sorted by descending count.
+	Classes []ClassCount
+}
+
+// ClassCount is one histogram entry.
+type ClassCount struct {
+	Class string
+	Count uint64
+}
+
+// CallTargets returns the profile for a site (nil if never observed).
+func (c *Counters) CallTargets(site CallSite) *TargetProfile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.callTargets[site]
+	if len(m) == 0 {
+		return nil
+	}
+	tp := &TargetProfile{}
+	for cls, n := range m {
+		tp.Total += n
+		tp.Classes = append(tp.Classes, ClassCount{cls, n})
+	}
+	sort.Slice(tp.Classes, func(i, j int) bool {
+		if tp.Classes[i].Count != tp.Classes[j].Count {
+			return tp.Classes[i].Count > tp.Classes[j].Count
+		}
+		return tp.Classes[i].Class < tp.Classes[j].Class
+	})
+	return tp
+}
+
+// RecordCall notes a dynamic caller->callee call.
+func (c *Counters) RecordCall(caller, callee int) {
+	c.mu.Lock()
+	c.funcCalls[CallArc{caller, callee}]++
+	c.mu.Unlock()
+}
+
+// CallGraph returns the weighted dynamic call graph.
+func (c *Counters) CallGraph() map[CallArc]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[CallArc]uint64, len(c.funcCalls))
+	for k, v := range c.funcCalls {
+		out[k] = v
+	}
+	return out
+}

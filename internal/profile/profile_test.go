@@ -1,0 +1,62 @@
+package profile_test
+
+import (
+	"testing"
+
+	"repro/internal/profile"
+)
+
+func TestCountersAndArcs(t *testing.T) {
+	c := profile.NewCounters()
+	a := c.NewCounter()
+	b := c.NewCounter()
+	for i := 0; i < 5; i++ {
+		c.Inc(a)
+	}
+	c.Inc(b)
+	if c.Count(a) != 5 || c.Count(b) != 1 {
+		t.Errorf("counts: %d %d", c.Count(a), c.Count(b))
+	}
+	c.RecordArc(a, b)
+	c.RecordArc(a, b)
+	if c.ArcCount(a, b) != 2 {
+		t.Errorf("arc count = %d", c.ArcCount(a, b))
+	}
+	arcs := c.Arcs(map[profile.TransID]bool{a: true})
+	if len(arcs) != 1 {
+		t.Errorf("arcs = %v", arcs)
+	}
+}
+
+func TestCallTargetHistogram(t *testing.T) {
+	c := profile.NewCounters()
+	site := profile.CallSite{FuncID: 3, PC: 17}
+	for i := 0; i < 9; i++ {
+		c.RecordCallTarget(site, "Hot")
+	}
+	c.RecordCallTarget(site, "Cold")
+	tp := c.CallTargets(site)
+	if tp == nil || tp.Total != 10 {
+		t.Fatalf("profile = %+v", tp)
+	}
+	if tp.Classes[0].Class != "Hot" || tp.Classes[0].Count != 9 {
+		t.Errorf("dominant class wrong: %+v", tp.Classes)
+	}
+	if c.CallTargets(profile.CallSite{FuncID: 9, PC: 9}) != nil {
+		t.Error("unknown site should have nil profile")
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	c := profile.NewCounters()
+	c.RecordCall(1, 2)
+	c.RecordCall(1, 2)
+	c.RecordCall(2, 3)
+	g := c.CallGraph()
+	if g[profile.CallArc{Caller: 1, Callee: 2}] != 2 {
+		t.Errorf("call graph: %v", g)
+	}
+	if len(g) != 2 {
+		t.Errorf("graph size = %d", len(g))
+	}
+}

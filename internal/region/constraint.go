@@ -1,0 +1,93 @@
+// Package region implements compilation-unit selection: tracelet
+// formation for live and profiling translations, the TransCFG, the
+// profile-guided region selector with retranslation chaining, and
+// guard relaxation over the type-constraint lattice (Table 1 of the
+// paper).
+package region
+
+import "repro/internal/types"
+
+// TypeConstraint says how much knowledge about an input type the
+// generated code needs (Table 1). Values progress from most relaxed
+// to most restrictive.
+type TypeConstraint uint8
+
+const (
+	// ConGeneric: the code does not care about the type at all.
+	ConGeneric TypeConstraint = iota
+	// ConCountness: only whether the value is reference counted.
+	ConCountness
+	// ConBoxAndCountness: ref-counted and boxed. The subset has no
+	// boxed locals, so this behaves as Countness; it is kept so the
+	// lattice matches the paper.
+	ConBoxAndCountness
+	// ConBoxAndCountnessInit: additionally whether initialized.
+	ConBoxAndCountnessInit
+	// ConSpecific: the specific primitive kind matters.
+	ConSpecific
+	// ConSpecialized: the array kind or object class matters too.
+	ConSpecialized
+)
+
+var conNames = [...]string{
+	"Generic", "Countness", "BoxAndCountness", "BoxAndCountnessInit",
+	"Specific", "Specialized",
+}
+
+func (c TypeConstraint) String() string {
+	if int(c) < len(conNames) {
+		return conNames[c]
+	}
+	return "Constraint?"
+}
+
+// Stronger returns the more restrictive of two constraints.
+func (c TypeConstraint) Stronger(o TypeConstraint) TypeConstraint {
+	if o > c {
+		return o
+	}
+	return c
+}
+
+// Satisfied reports whether knowing that a value has type t provides
+// enough information for constraint c.
+func (c TypeConstraint) Satisfied(t types.Type) bool {
+	switch c {
+	case ConGeneric:
+		return true
+	case ConCountness, ConBoxAndCountness:
+		return t.SubtypeOf(types.TUncounted) || t.SubtypeOf(types.TCounted) || t.IsSpecific()
+	case ConBoxAndCountnessInit:
+		return (t.SubtypeOf(types.TUncounted) && !t.Maybe(types.TUninit)) ||
+			t.SubtypeOf(types.TCounted) || t.IsSpecific()
+	case ConSpecific:
+		return t.IsSpecific()
+	case ConSpecialized:
+		return t.IsSpecialized() || t.IsSpecific() && t.Kind()&(types.KArr|types.KObj) == 0
+	default:
+		return false
+	}
+}
+
+// RelaxedType widens t as far as constraint c allows; this is the
+// type a relaxed guard checks for.
+func (c TypeConstraint) RelaxedType(t types.Type) types.Type {
+	switch c {
+	case ConGeneric:
+		return types.TCell
+	case ConCountness, ConBoxAndCountness:
+		if t.SubtypeOf(types.TUncounted) {
+			return types.TUncounted
+		}
+		return t.Unspecialize()
+	case ConBoxAndCountnessInit:
+		if t.SubtypeOf(types.TUncounted) && !t.Maybe(types.TUninit) {
+			return types.FromKind(types.KUncounted &^ types.KUninit)
+		}
+		return t.Unspecialize()
+	case ConSpecific:
+		return t.Unspecialize()
+	default:
+		return t
+	}
+}

@@ -1,0 +1,160 @@
+package region
+
+import (
+	"repro/internal/profile"
+	"repro/internal/types"
+)
+
+// RelaxConfig tunes guard relaxation (Section 5.2.2).
+type RelaxConfig struct {
+	// Enabled turns the pass on (the Figure 10 ablation disables it).
+	Enabled bool
+	// GenericThreshold: when the dominant observed type covers less
+	// than this fraction of executions, relax all the way to Generic
+	// rather than keeping per-type translations ("if the input type
+	// was reference counted 80% of the time, relax to generic").
+	GenericThreshold float64
+}
+
+// DefaultRelaxConfig matches the paper's behaviour.
+var DefaultRelaxConfig = RelaxConfig{Enabled: true, GenericThreshold: 0.85}
+
+// Relax applies guard relaxation to an optimized region: for every
+// precondition, the guard is widened as far as its type constraint
+// allows given the profiled type distribution at that bytecode
+// address; retranslation chains are then re-sorted and blocks
+// subsumed by relaxed predecessors dropped.
+func Relax(d *Desc, g *TransCFG, counters *profile.Counters, cfg RelaxConfig) {
+	if !cfg.Enabled {
+		return
+	}
+	// Type distributions: for each (start pc, loc), the observed
+	// (type, weight) pairs across all profiling translations of the
+	// function.
+	type distKey struct {
+		pc  int
+		loc Loc
+	}
+	dist := map[distKey]map[types.Type]uint64{}
+	for i, b := range g.Nodes {
+		w := g.Weights[i]
+		for _, gd := range b.Preconds {
+			k := distKey{b.Start, gd.Loc}
+			if dist[k] == nil {
+				dist[k] = map[types.Type]uint64{}
+			}
+			dist[k][gd.Type] += w
+		}
+	}
+
+	for _, b := range d.Blocks {
+		for gi := range b.Preconds {
+			gd := &b.Preconds[gi]
+			if gd.Constraint >= ConSpecific {
+				// The code needs the full type; relaxing would force
+				// generic paths. Check profile dominance instead: if
+				// no single type dominates, keep specific guards (the
+				// chain handles polymorphism).
+				continue
+			}
+			relaxed := gd.Constraint.RelaxedType(gd.Type)
+			k := distKey{b.Start, gd.Loc}
+			if m := dist[k]; m != nil {
+				var total, under uint64
+				for t, w := range m {
+					total += w
+					if t.SubtypeOf(relaxed) {
+						under += w
+					}
+				}
+				if total > 0 && float64(under)/float64(total) < cfg.GenericThreshold {
+					// Observed types straddle the relaxed check most
+					// of the time: drop the guard entirely (Generic).
+					relaxed = types.TCell
+				}
+			}
+			gd.Type = relaxed
+		}
+	}
+
+	dedupeChains(d)
+}
+
+// dedupeChains removes region blocks whose (relaxed) preconditions
+// are subsumed by an earlier block in the same retranslation chain —
+// those translations can never be reached.
+func dedupeChains(d *Desc) {
+	dead := map[int]bool{}
+	for _, chain := range d.Chains {
+		for i := 0; i < len(chain); i++ {
+			if dead[chain[i]] {
+				continue
+			}
+			for j := i + 1; j < len(chain); j++ {
+				if dead[chain[j]] {
+					continue
+				}
+				if subsumes(d.Blocks[chain[i]], d.Blocks[chain[j]]) {
+					dead[chain[j]] = true
+				}
+			}
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	// Rebuild the region without dead blocks.
+	remap := map[int]int{}
+	var blocks []*Block
+	for i, b := range d.Blocks {
+		if dead[i] {
+			continue
+		}
+		remap[i] = len(blocks)
+		blocks = append(blocks, b)
+	}
+	arcs := map[int][]int{}
+	weight := map[int]uint64{}
+	for i, succs := range d.Arcs {
+		ni, ok := remap[i]
+		if !ok {
+			continue
+		}
+		for _, sj := range succs {
+			if nj, ok := remap[sj]; ok {
+				arcs[ni] = append(arcs[ni], nj)
+			}
+		}
+	}
+	for i, w := range d.Weight {
+		if ni, ok := remap[i]; ok {
+			weight[ni] = w
+		}
+	}
+	d.Blocks, d.Arcs, d.Weight = blocks, arcs, weight
+	chainRetranslations(d)
+}
+
+// subsumes reports whether every input accepted by b's guards is also
+// accepted by a's (same bytecode address assumed).
+func subsumes(a, b *Block) bool {
+	for _, gb := range b.Preconds {
+		ga, ok := a.GuardFor(gb.Loc)
+		if !ok {
+			continue // a doesn't check this loc: accepts everything
+		}
+		if !gb.Type.SubtypeOf(ga.Type) {
+			return false
+		}
+	}
+	// a must not check locations b leaves unchecked with a narrower
+	// type than TCell.
+	for _, ga := range a.Preconds {
+		if _, ok := b.GuardFor(ga.Loc); !ok {
+			if !types.TCell.SubtypeOf(ga.Type) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,271 @@
+package region
+
+import (
+	"repro/internal/hhbc"
+	"repro/internal/types"
+)
+
+// TypeSource supplies entry types for VM locations. In live and
+// profiling modes it inspects the live frame; the profile-guided
+// selector replays recorded preconditions.
+type TypeSource interface {
+	// LocalType returns the entry type of a local (TCell if unknown).
+	LocalType(slot int) types.Type
+	// StackType returns the entry type of an eval-stack slot indexed
+	// from the bottom.
+	StackType(depth int) types.Type
+}
+
+// SelectMode controls tracelet termination rules.
+type SelectMode int
+
+const (
+	// ModeLive: gen-1 tracelets — maximal single-entry blocks ended
+	// at branches or when an unknown type is consumed.
+	ModeLive SelectMode = iota
+	// ModeProfiling additionally breaks at all jumps and after
+	// instructions that may side-exit (calls), so profile counters
+	// give exact basic-block frequencies (Section 4.1).
+	ModeProfiling
+)
+
+// DefaultMaxInstrs bounds tracelet length.
+const DefaultMaxInstrs = 120
+
+// builtinRet gives known result types for hot builtins; anything else
+// returns InitCell.
+var builtinRet = map[string]types.Type{
+	"count": types.TInt, "strlen": types.TInt, "abs": types.TNum,
+	"intval": types.TInt, "floatval": types.TDbl, "strval": types.TStr,
+	"is_int": types.TBool, "is_float": types.TBool, "is_string": types.TBool,
+	"is_array": types.TBool, "is_bool": types.TBool, "is_null": types.TBool,
+	"is_numeric": types.TBool, "implode": types.TStr, "substr": types.TStr,
+	"strtoupper": types.TStr, "strtolower": types.TStr, "strrev": types.TStr,
+	"str_repeat": types.TStr, "sqrt": types.TDbl, "floor": types.TDbl,
+	"ceil": types.TDbl, "round": types.TDbl, "ord": types.TInt, "chr": types.TStr,
+	"array_sum": types.TNum, "in_array": types.TBool, "array_key_exists": types.TBool,
+	"array_keys":   types.ArrOfKind(types.ArrayPacked),
+	"array_values": types.ArrOfKind(types.ArrayPacked),
+}
+
+// sval is a symbolic stack value.
+type sval struct {
+	t types.Type
+	// origin, when non-nil, names the pristine entry location this
+	// value came from, so stronger constraints can upgrade its guard.
+	origin *Loc
+}
+
+// selector walks bytecode computing type flow and guard needs.
+type selector struct {
+	unit *hhbc.Unit
+	fn   *hhbc.Func
+	src  TypeSource
+	mode SelectMode
+	max  int
+
+	locals   map[int]types.Type
+	pristine map[int]bool
+	stack    []sval
+	iters    map[int32]types.ArrayKind
+
+	guards map[Loc]*Guard
+	block  *Block
+}
+
+// Select forms a tracelet starting at pc with the given entry stack
+// depth. It returns the block (never nil; a block always contains at
+// least one instruction).
+func Select(u *hhbc.Unit, fn *hhbc.Func, pc int, entryDepth int, src TypeSource, mode SelectMode, maxInstrs int) *Block {
+	if maxInstrs <= 0 {
+		maxInstrs = DefaultMaxInstrs
+	}
+	s := &selector{
+		unit: u, fn: fn, src: src, mode: mode, max: maxInstrs,
+		locals:   map[int]types.Type{},
+		pristine: map[int]bool{},
+		iters:    map[int32]types.ArrayKind{},
+		guards:   map[Loc]*Guard{},
+	}
+	for i := 0; i < fn.NumLocals; i++ {
+		s.pristine[i] = true
+	}
+	b := &Block{
+		Func: fn, Start: pc, EntryStackDepth: entryDepth,
+		ProfCounter: -1,
+	}
+	s.block = b
+	for d := 0; d < entryDepth; d++ {
+		t := src.StackType(d)
+		b.EntryStackTypes = append(b.EntryStackTypes, t)
+		loc := Loc{LocStack, d}
+		s.stack = append(s.stack, sval{t: types.TInitCell, origin: &loc})
+	}
+
+	cur := pc
+	for cur-pc < s.max {
+		in := fn.Instrs[cur]
+		include, endAfter, succs := s.step(in, cur)
+		if !include {
+			// The instruction needs information this tracelet cannot
+			// provide: end before it; it starts the next translation.
+			b.Succs = []int{cur}
+			break
+		}
+		cur++
+		b.NumInstrs = cur - pc
+		if endAfter {
+			b.Succs = succs
+			break
+		}
+		if s.mode == ModeProfiling && breaksProfilingBlock(in.Op) {
+			b.Succs = []int{cur}
+			break
+		}
+	}
+	if b.NumInstrs == 0 {
+		// Force progress: include one instruction generically.
+		b.NumInstrs = 1
+		in := fn.Instrs[pc]
+		if !in.Op.IsUnconditionalExit() {
+			b.Succs = []int{pc + 1}
+		}
+	}
+	if b.NumInstrs > 0 && b.Succs == nil && cur-pc >= s.max {
+		b.Succs = []int{cur}
+	}
+
+	for _, g := range s.guards {
+		b.Preconds = append(b.Preconds, *g)
+	}
+	sortGuards(b.Preconds)
+	b.PostLocals = s.locals
+	return b
+}
+
+func sortGuards(gs []Guard) {
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && guardLess(gs[j], gs[j-1]); j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
+		}
+	}
+}
+
+func guardLess(a, b Guard) bool {
+	if a.Loc.Kind != b.Loc.Kind {
+		return a.Loc.Kind < b.Loc.Kind
+	}
+	return a.Loc.Slot < b.Loc.Slot
+}
+
+// breaksProfilingBlock reports ops after which profiling translations
+// end (rules 1-2 in Section 4.1).
+func breaksProfilingBlock(op hhbc.Op) bool {
+	switch op {
+	case hhbc.OpFCallD, hhbc.OpFCallObjMethodD, hhbc.OpFCallBuiltin,
+		hhbc.OpNewObjD, hhbc.OpThrow, hhbc.OpVerifyParamType:
+		return true
+	}
+	return false
+}
+
+// localType returns the current known type of a local.
+func (s *selector) localType(slot int) types.Type {
+	if t, ok := s.locals[slot]; ok {
+		return t
+	}
+	return types.TCell
+}
+
+// guardLocal tries to establish constraint con on a local's entry
+// type. Returns the resulting type and whether the constraint is now
+// satisfied.
+func (s *selector) guardLocal(slot int, con TypeConstraint) (types.Type, bool) {
+	cur := s.localType(slot)
+	if con.Satisfied(cur) {
+		s.upgradeGuard(Loc{LocLocal, slot}, con)
+		return cur, true
+	}
+	if !s.pristine[slot] {
+		return cur, false
+	}
+	t := s.src.LocalType(slot)
+	if !con.Satisfied(t) {
+		return cur, false
+	}
+	loc := Loc{LocLocal, slot}
+	s.setGuard(loc, t, con)
+	s.locals[slot] = t
+	return t, true
+}
+
+// needVal tries to establish con on a stack value, upgrading its
+// origin guard when possible.
+func (s *selector) needVal(v *sval, con TypeConstraint) bool {
+	if con.Satisfied(v.t) {
+		if v.origin != nil {
+			s.upgradeGuard(*v.origin, con)
+		}
+		return true
+	}
+	if v.origin == nil {
+		return false
+	}
+	var t types.Type
+	if v.origin.Kind == LocLocal {
+		if !s.pristine[v.origin.Slot] {
+			return false
+		}
+		t = s.src.LocalType(v.origin.Slot)
+	} else {
+		t = s.src.StackType(v.origin.Slot)
+	}
+	if !con.Satisfied(t) {
+		return false
+	}
+	s.setGuard(*v.origin, t, con)
+	v.t = t
+	if v.origin.Kind == LocLocal {
+		s.locals[v.origin.Slot] = t
+	}
+	return true
+}
+
+func (s *selector) setGuard(loc Loc, t types.Type, con TypeConstraint) {
+	if g, ok := s.guards[loc]; ok {
+		g.Type = g.Type.Intersect(t)
+		if g.Type.IsBottom() {
+			g.Type = t
+		}
+		g.Constraint = g.Constraint.Stronger(con)
+		return
+	}
+	s.guards[loc] = &Guard{Loc: loc, Type: t, Constraint: con}
+}
+
+func (s *selector) upgradeGuard(loc Loc, con TypeConstraint) {
+	if g, ok := s.guards[loc]; ok {
+		g.Constraint = g.Constraint.Stronger(con)
+	}
+}
+
+// wantVal is like needVal but tolerates failure (the consumer falls
+// back to a generic path).
+func (s *selector) wantVal(v *sval, con TypeConstraint) {
+	s.needVal(v, con)
+}
+
+func (s *selector) push(t types.Type) { s.stack = append(s.stack, sval{t: t}) }
+
+func (s *selector) pushFrom(v sval) { s.stack = append(s.stack, v) }
+
+func (s *selector) pop() sval {
+	v := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return v
+}
+
+func (s *selector) writeLocal(slot int, t types.Type) {
+	s.locals[slot] = t
+	s.pristine[slot] = false
+}

@@ -1,0 +1,457 @@
+package region
+
+import (
+	"repro/internal/hhbc"
+	"repro/internal/types"
+)
+
+// step symbolically executes one instruction. It returns whether the
+// instruction can be included in the current tracelet, whether the
+// tracelet ends after it, and the successor pcs when it ends.
+func (s *selector) step(in hhbc.Instr, pc int) (include, endAfter bool, succs []int) {
+	u, fn := s.unit, s.fn
+	switch in.Op {
+	case hhbc.OpNop, hhbc.OpIncProfCounter, hhbc.OpIterFree:
+		// IterFree drops the iterator's array reference; generic.
+
+	case hhbc.OpAssertRATL:
+		t := u.DecodeRAT(in.B, in.C)
+		cur := s.localType(int(in.A))
+		nt := cur.Intersect(t)
+		if nt.IsBottom() {
+			nt = t
+		}
+		s.locals[int(in.A)] = nt
+	case hhbc.OpAssertRAStk:
+		d := len(s.stack) - 1 - int(in.A)
+		if d >= 0 {
+			t := u.DecodeRAT(in.B, in.C)
+			nt := s.stack[d].t.Intersect(t)
+			if !nt.IsBottom() {
+				s.stack[d].t = nt
+			}
+		}
+
+	case hhbc.OpInt:
+		s.push(types.TInt)
+	case hhbc.OpDouble:
+		s.push(types.TDbl)
+	case hhbc.OpString:
+		s.push(types.TStr)
+	case hhbc.OpTrue, hhbc.OpFalse:
+		s.push(types.TBool)
+	case hhbc.OpNull:
+		s.push(types.TNull)
+
+	case hhbc.OpPopC:
+		v := s.pop()
+		s.wantVal(&v, ConCountness)
+	case hhbc.OpDup:
+		v := s.stack[len(s.stack)-1]
+		s.wantVal(&s.stack[len(s.stack)-1], ConCountness)
+		s.pushFrom(v)
+
+	case hhbc.OpCGetL, hhbc.OpCGetL2:
+		slot := int(in.A)
+		t, ok := s.guardLocal(slot, ConCountness)
+		if !ok {
+			return false, false, nil
+		}
+		rt := cgetType(t)
+		v := sval{t: rt}
+		if s.pristine[slot] && !t.Maybe(types.TUninit) {
+			loc := Loc{LocLocal, slot}
+			v.origin = &loc
+		}
+		if in.Op == hhbc.OpCGetL {
+			s.pushFrom(v)
+		} else {
+			top := s.pop()
+			s.pushFrom(v)
+			s.pushFrom(top)
+		}
+	case hhbc.OpPopL:
+		v := s.pop()
+		s.wantVal(&v, ConCountness)
+		if _, ok := s.guardLocal(int(in.A), ConCountness); !ok {
+			return false, false, nil
+		}
+		s.writeLocal(int(in.A), v.t)
+	case hhbc.OpSetL:
+		s.wantVal(&s.stack[len(s.stack)-1], ConCountness)
+		if _, ok := s.guardLocal(int(in.A), ConCountness); !ok {
+			return false, false, nil
+		}
+		s.writeLocal(int(in.A), s.stack[len(s.stack)-1].t)
+	case hhbc.OpPushL:
+		slot := int(in.A)
+		t, ok := s.guardLocal(slot, ConCountness)
+		if !ok {
+			return false, false, nil
+		}
+		v := sval{t: t}
+		if s.pristine[slot] {
+			loc := Loc{LocLocal, slot}
+			v.origin = &loc
+		}
+		s.pushFrom(v)
+		s.writeLocal(slot, types.TUninit)
+	case hhbc.OpUnsetL:
+		if _, ok := s.guardLocal(int(in.A), ConCountness); !ok {
+			return false, false, nil
+		}
+		s.writeLocal(int(in.A), types.TUninit)
+	case hhbc.OpIsTypeL:
+		s.push(types.TBool)
+	case hhbc.OpIncDecL:
+		t, ok := s.guardLocal(int(in.A), ConSpecific)
+		if !ok {
+			return false, false, nil
+		}
+		var nt types.Type
+		switch {
+		case t.SubtypeOf(types.TInt):
+			nt = types.TInt
+		case t.SubtypeOf(types.TDbl):
+			nt = types.TDbl
+		case t.SubtypeOf(types.TNull), t.SubtypeOf(types.TUninit):
+			if in.B == hhbc.PreInc || in.B == hhbc.PostInc {
+				nt = types.TInt
+			} else {
+				nt = types.TNull
+			}
+		default:
+			return false, false, nil // non-numeric inc/dec: leave to interp
+		}
+		old := t
+		s.writeLocal(int(in.A), nt)
+		if in.B == hhbc.PostInc || in.B == hhbc.PostDec {
+			s.push(cgetType(old))
+		} else {
+			s.push(nt)
+		}
+
+	case hhbc.OpAdd, hhbc.OpSub, hhbc.OpMul:
+		b, a := s.pop(), s.pop()
+		if !s.needVal(&a, ConSpecific) || !s.needVal(&b, ConSpecific) {
+			s.stack = append(s.stack, a, b)
+			return false, false, nil
+		}
+		t, ok := arithType(a.t, b.t)
+		if !ok {
+			s.stack = append(s.stack, a, b)
+			return false, false, nil
+		}
+		s.push(t)
+	case hhbc.OpDiv:
+		b, a := s.pop(), s.pop()
+		if !s.needVal(&a, ConSpecific) || !s.needVal(&b, ConSpecific) {
+			s.stack = append(s.stack, a, b)
+			return false, false, nil
+		}
+		if !a.t.SubtypeOf(types.TNum) || !b.t.SubtypeOf(types.TNum) {
+			s.stack = append(s.stack, a, b)
+			return false, false, nil
+		}
+		if a.t.SubtypeOf(types.TDbl) || b.t.SubtypeOf(types.TDbl) {
+			s.push(types.TDbl)
+		} else {
+			s.push(types.TNum) // Int/Int division may produce Dbl
+		}
+	case hhbc.OpMod:
+		b, a := s.pop(), s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.wantVal(&b, ConSpecific)
+		s.push(types.TInt)
+	case hhbc.OpConcat:
+		b, a := s.pop(), s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.wantVal(&b, ConSpecific)
+		s.push(types.TStr)
+	case hhbc.OpNeg:
+		a := s.pop()
+		if !s.needVal(&a, ConSpecific) {
+			s.stack = append(s.stack, a)
+			return false, false, nil
+		}
+		if a.t.SubtypeOf(types.TDbl) {
+			s.push(types.TDbl)
+		} else {
+			s.push(types.TInt)
+		}
+
+	case hhbc.OpGt, hhbc.OpGte, hhbc.OpLt, hhbc.OpLte,
+		hhbc.OpEq, hhbc.OpNeq, hhbc.OpSame, hhbc.OpNSame:
+		b, a := s.pop(), s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.wantVal(&b, ConSpecific)
+		s.push(types.TBool)
+	case hhbc.OpNot, hhbc.OpCastBool:
+		a := s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.push(types.TBool)
+	case hhbc.OpCastInt:
+		a := s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.push(types.TInt)
+	case hhbc.OpCastDouble:
+		a := s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.push(types.TDbl)
+	case hhbc.OpCastString:
+		a := s.pop()
+		s.wantVal(&a, ConSpecific)
+		s.push(types.TStr)
+
+	case hhbc.OpJmp:
+		return true, true, []int{int(in.A)}
+	case hhbc.OpJmpZ, hhbc.OpJmpNZ:
+		v := s.pop()
+		s.wantVal(&v, ConSpecific)
+		return true, true, []int{int(in.A), pc + 1}
+	case hhbc.OpSwitch:
+		v := s.pop()
+		s.wantVal(&v, ConSpecific)
+		sw := fn.Switches[in.A]
+		seen := map[int]bool{}
+		var out []int
+		for _, t := range sw.Targets {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+		if !seen[sw.Default] {
+			out = append(out, sw.Default)
+		}
+		return true, true, out
+	case hhbc.OpRetC:
+		v := s.pop()
+		s.wantVal(&v, ConCountness)
+		return true, true, nil
+	case hhbc.OpThrow, hhbc.OpFatal:
+		return true, true, nil
+	case hhbc.OpCatch:
+		s.push(types.TObj)
+
+	case hhbc.OpNewArray:
+		s.push(types.ArrOfKind(types.ArrayMixed))
+	case hhbc.OpNewPackedArray:
+		for i := 0; i < int(in.A); i++ {
+			v := s.pop()
+			s.wantVal(&v, ConCountness)
+		}
+		s.push(types.ArrOfKind(types.ArrayPacked))
+	case hhbc.OpAddElemC:
+		val, key, arr := s.pop(), s.pop(), s.pop()
+		s.wantVal(&val, ConCountness)
+		s.wantVal(&key, ConSpecific)
+		s.wantVal(&arr, ConSpecialized)
+		s.push(types.TArr)
+	case hhbc.OpAddNewElemC:
+		val, arr := s.pop(), s.pop()
+		s.wantVal(&val, ConCountness)
+		s.wantVal(&arr, ConSpecialized)
+		if arr.t.SubtypeOf(types.TArr) {
+			s.push(arr.t)
+		} else {
+			s.push(types.TArr)
+		}
+
+	case hhbc.OpArrIdx:
+		key, arr := s.pop(), s.pop()
+		if !s.needVal(&key, ConSpecific) || !s.needVal(&arr, ConSpecialized) {
+			s.stack = append(s.stack, arr, key)
+			return false, false, nil
+		}
+		s.push(types.TInitCell)
+	case hhbc.OpArrGetL:
+		key := s.pop()
+		if !s.needVal(&key, ConSpecific) {
+			s.stack = append(s.stack, key)
+			return false, false, nil
+		}
+		if _, ok := s.guardLocal(int(in.A), ConSpecialized); !ok {
+			s.stack = append(s.stack, key)
+			return false, false, nil
+		}
+		s.push(types.TInitCell)
+	case hhbc.OpArrSetL:
+		key, val := s.pop(), s.pop()
+		if !s.needVal(&key, ConSpecific) {
+			s.stack = append(s.stack, val, key)
+			return false, false, nil
+		}
+		s.wantVal(&val, ConCountness)
+		if _, ok := s.guardLocal(int(in.A), ConSpecialized); !ok {
+			s.stack = append(s.stack, val, key)
+			return false, false, nil
+		}
+		s.writeLocal(int(in.A), types.TArr)
+	case hhbc.OpArrAppendL:
+		val := s.pop()
+		s.wantVal(&val, ConCountness)
+		t, ok := s.guardLocal(int(in.A), ConSpecialized)
+		if !ok {
+			s.stack = append(s.stack, val)
+			return false, false, nil
+		}
+		if t.SubtypeOf(types.TArr) {
+			s.writeLocal(int(in.A), t)
+		} else {
+			s.writeLocal(int(in.A), types.TArr)
+		}
+	case hhbc.OpArrUnsetL:
+		key := s.pop()
+		s.wantVal(&key, ConSpecific)
+		if _, ok := s.guardLocal(int(in.A), ConSpecialized); !ok {
+			s.stack = append(s.stack, key)
+			return false, false, nil
+		}
+		s.writeLocal(int(in.A), types.TArr)
+	case hhbc.OpAKExistsL:
+		key := s.pop()
+		s.wantVal(&key, ConSpecific)
+		s.push(types.TBool)
+
+	case hhbc.OpIterInitL:
+		t, ok := s.guardLocal(int(in.C), ConSpecialized)
+		if ok && t.SubtypeOf(types.TArr) {
+			s.iters[in.A] = t.ArrayKind()
+		}
+		return true, true, []int{int(in.B), pc + 1}
+	case hhbc.OpIterNext:
+		return true, true, []int{int(in.B), pc + 1}
+	case hhbc.OpIterKey:
+		if s.iters[in.A] == types.ArrayPacked {
+			s.push(types.TInt)
+		} else {
+			s.push(types.FromKind(types.KInt | types.KStr))
+		}
+	case hhbc.OpIterValue:
+		s.push(types.TInitCell)
+
+	case hhbc.OpFCallD:
+		for i := 0; i < int(in.A); i++ {
+			v := s.pop()
+			s.wantVal(&v, ConCountness)
+		}
+		s.push(types.TInitCell)
+	case hhbc.OpFCallBuiltin:
+		for i := 0; i < int(in.A); i++ {
+			v := s.pop()
+			s.wantVal(&v, ConCountness)
+		}
+		if t, ok := builtinRet[u.Strings[in.B]]; ok {
+			s.push(t)
+		} else {
+			s.push(types.TInitCell)
+		}
+	case hhbc.OpFCallObjMethodD:
+		for i := 0; i < int(in.A); i++ {
+			v := s.pop()
+			s.wantVal(&v, ConCountness)
+		}
+		obj := s.pop()
+		s.wantVal(&obj, ConSpecialized)
+		s.push(types.TInitCell)
+
+	case hhbc.OpNewObjD:
+		s.push(types.ObjOfClass(u.Strings[in.A], true))
+	case hhbc.OpThis:
+		if fn.Class != "" {
+			s.push(types.ObjOfClass(fn.Class, false))
+		} else {
+			s.push(types.TObj)
+		}
+	case hhbc.OpCGetPropD:
+		obj := s.pop()
+		if !s.needVal(&obj, ConSpecialized) {
+			s.stack = append(s.stack, obj)
+			return false, false, nil
+		}
+		s.push(types.TInitCell)
+	case hhbc.OpSetPropD:
+		val, obj := s.pop(), s.pop()
+		s.wantVal(&val, ConCountness)
+		if !s.needVal(&obj, ConSpecialized) {
+			s.stack = append(s.stack, obj, val)
+			return false, false, nil
+		}
+		s.push(val.t)
+	case hhbc.OpInstanceOfD:
+		v := s.pop()
+		s.wantVal(&v, ConSpecific)
+		s.push(types.TBool)
+
+	case hhbc.OpVerifyParamType:
+		idx := int(in.A)
+		p := fn.Params[idx]
+		s.locals[idx] = s.localType(idx).Intersect(hintType(p))
+		if s.locals[idx].IsBottom() {
+			s.locals[idx] = hintType(p)
+		}
+
+	case hhbc.OpPrint:
+		v := s.pop()
+		s.wantVal(&v, ConSpecific)
+		s.push(types.TInt)
+
+	default:
+		return false, false, nil
+	}
+	if in.Op.IsUnconditionalExit() {
+		return true, true, nil
+	}
+	return true, false, nil
+}
+
+// cgetType is the result type of reading a local: Uninit reads as
+// Null.
+func cgetType(t types.Type) types.Type {
+	if t.Maybe(types.TUninit) {
+		return types.FromKind(t.Kind()&^types.KUninit | types.KNull)
+	}
+	return t
+}
+
+// arithType computes the result of +,-,* on specific operand types.
+func arithType(a, b types.Type) (types.Type, bool) {
+	switch {
+	case a.SubtypeOf(types.TInt) && b.SubtypeOf(types.TInt):
+		return types.TInt, true
+	case a.SubtypeOf(types.TNum) && b.SubtypeOf(types.TNum):
+		return types.TDbl, true
+	case a.SubtypeOf(types.TArr) && b.SubtypeOf(types.TArr):
+		return types.TArr, true
+	default:
+		// Null/Bool/Str coerce numerically; the result kind depends on
+		// runtime values, so it stays TNum and goes to a generic path.
+		return types.TNum, a.Kind()&types.KObj == 0 && b.Kind()&types.KObj == 0
+	}
+}
+
+// hintType maps a parameter type hint to the lattice.
+func hintType(p hhbc.Param) types.Type {
+	var t types.Type
+	switch p.TypeHint {
+	case "int":
+		t = types.TInt
+	case "float":
+		t = types.TDbl
+	case "string":
+		t = types.TStr
+	case "bool":
+		t = types.TBool
+	case "array":
+		t = types.TArr
+	case "":
+		return types.TCell
+	default:
+		t = types.ObjOfClass(p.TypeHint, false)
+	}
+	if p.Nullable {
+		t = t.Union(types.TNull)
+	}
+	return t
+}

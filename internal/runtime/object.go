@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Class is the runtime class descriptor. Method bodies live in the
+// bytecode unit; the class refers to them by dense function IDs so
+// that the runtime stays independent of the bytecode representation.
+type Class struct {
+	Name    string
+	Parent  *Class
+	Ifaces  []string
+	HasDtor bool
+
+	// PropNames maps property name -> slot index; PropInit holds the
+	// default values (uncounted only).
+	PropNames map[string]int
+	PropInit  []Value
+
+	// Methods maps lowercase method name -> function ID. It includes
+	// inherited methods (flattened at link time).
+	Methods map[string]int
+
+	// ClassID is a dense ID used by JITed class-equality guards.
+	ClassID int
+
+	// AncestorBits is a bitset over dense class IDs covering this
+	// class, every ancestor, and every implemented interface — the
+	// "bitwise instanceof checks" optimization the paper lists among
+	// the Vasm-level optimizations (Figure 7): `$x instanceof C`
+	// compiles to a single bit test instead of a hierarchy walk.
+	AncestorBits []uint64
+}
+
+// HasAncestorID reports whether id is in the ancestor bitset.
+func (c *Class) HasAncestorID(id int) bool {
+	w, b := id/64, uint(id%64)
+	return w < len(c.AncestorBits) && c.AncestorBits[w]&(1<<b) != 0
+}
+
+// SetAncestorID adds id to the bitset.
+func (c *Class) SetAncestorID(id int) {
+	w, b := id/64, uint(id%64)
+	for len(c.AncestorBits) <= w {
+		c.AncestorBits = append(c.AncestorBits, 0)
+	}
+	c.AncestorBits[w] |= 1 << b
+}
+
+// LookupMethod resolves name to a function ID.
+func (c *Class) LookupMethod(name string) (int, bool) {
+	id, ok := c.Methods[name]
+	return id, ok
+}
+
+// IsSubclassOf walks the extends chain and interface lists.
+func (c *Class) IsSubclassOf(name string) bool {
+	for k := c; k != nil; k = k.Parent {
+		if k.Name == name {
+			return true
+		}
+		for _, i := range k.Ifaces {
+			if i == name || types.IsSubclassOf(i, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Object is a guest object instance: a class pointer plus property
+// slots.
+type Object struct {
+	Class      *Class
+	Props      []Value
+	refs       int32
+	destructed bool
+}
+
+// NewObject allocates an instance of c with default-initialized
+// properties and refcount 1.
+func (h *Heap) NewObject(c *Class) *Object {
+	props := make([]Value, len(c.PropInit))
+	copy(props, c.PropInit)
+	h.LiveObjs++
+	return &Object{Class: c, Props: props, refs: 1}
+}
+
+// Refs returns the current reference count.
+func (o *Object) Refs() int32 { return o.refs }
+
+// GetProp returns a borrowed reference to the named property.
+func (o *Object) GetProp(name string) (Value, bool) {
+	slot, ok := o.Class.PropNames[name]
+	if !ok {
+		return Uninit(), false
+	}
+	return o.Props[slot], true
+}
+
+// SetProp stores val (consuming the caller's reference) and releases
+// the previous value.
+func (o *Object) SetProp(h *Heap, name string, val Value) error {
+	slot, ok := o.Class.PropNames[name]
+	if !ok {
+		return fmt.Errorf("undefined property %s::$%s", o.Class.Name, name)
+	}
+	old := o.Props[slot]
+	o.Props[slot] = val
+	h.DecRef(old)
+	return nil
+}
+
+// GetPropSlot / SetPropSlot are the JIT fast paths once the slot index
+// has been resolved against a known class.
+func (o *Object) GetPropSlot(slot int) Value { return o.Props[slot] }
+
+func (o *Object) SetPropSlot(h *Heap, slot int, val Value) {
+	old := o.Props[slot]
+	o.Props[slot] = val
+	h.DecRef(old)
+}

@@ -1,0 +1,281 @@
+package runtime_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	rt "repro/internal/runtime"
+	"repro/internal/types"
+)
+
+func TestRefcountBasics(t *testing.T) {
+	h := rt.NewHeap()
+	v := rt.NewStr("hello")
+	if v.S.Refs() != 1 {
+		t.Fatalf("fresh string refs = %d", v.S.Refs())
+	}
+	h.IncRef(v)
+	if v.S.Refs() != 2 {
+		t.Fatalf("after incref refs = %d", v.S.Refs())
+	}
+	h.DecRef(v)
+	h.DecRef(v)
+	if v.S.Refs() != 0 {
+		t.Fatalf("after release refs = %d", v.S.Refs())
+	}
+	if h.Frees != 1 {
+		t.Fatalf("frees = %d", h.Frees)
+	}
+}
+
+func TestStaticStringsSkipRefcounting(t *testing.T) {
+	h := rt.NewHeap()
+	v := rt.StrV(rt.InternStr("static"))
+	before := h.IncRefs
+	h.IncRef(v)
+	h.DecRef(v)
+	if h.IncRefs != before {
+		t.Error("static strings must not be refcounted")
+	}
+}
+
+func TestCopyOnWrite(t *testing.T) {
+	h := rt.NewHeap()
+	a := rt.NewPacked([]rt.Value{rt.Int(1), rt.Int(2)})
+	av := rt.ArrV(a)
+	h.IncRef(av) // second reference (simulating $b = $a)
+	b := a.Set(h, rt.Int(0), rt.Int(99))
+	if b == a {
+		t.Fatal("mutation of shared array did not copy")
+	}
+	if h.CowCopies != 1 {
+		t.Fatalf("CowCopies = %d", h.CowCopies)
+	}
+	orig, _ := a.GetIntKey(0)
+	mod, _ := b.GetIntKey(0)
+	if orig.I != 1 || mod.I != 99 {
+		t.Fatalf("COW values wrong: %d / %d", orig.I, mod.I)
+	}
+	// Unshared mutation must NOT copy.
+	before := h.CowCopies
+	c := b.Set(h, rt.Int(1), rt.Int(5))
+	if c != b || h.CowCopies != before {
+		t.Error("unshared array copied needlessly")
+	}
+}
+
+func TestPackedEscalatesToMixed(t *testing.T) {
+	h := rt.NewHeap()
+	a := rt.NewPacked([]rt.Value{rt.Int(1)})
+	if !a.IsPacked() {
+		t.Fatal("fresh packed array is not packed")
+	}
+	a = a.Set(h, rt.NewStr("k"), rt.Int(2))
+	if a.IsPacked() {
+		t.Fatal("string key should escalate to mixed")
+	}
+	v, ok := a.Get(rt.NewStr("k"))
+	if !ok || v.I != 2 {
+		t.Fatal("escalated array lost the element")
+	}
+	v, ok = a.GetIntKey(0)
+	if !ok || v.I != 1 {
+		t.Fatal("escalated array lost the packed element")
+	}
+}
+
+func TestArrayAppendKeepsPacked(t *testing.T) {
+	h := rt.NewHeap()
+	a := rt.NewPacked(nil)
+	for i := 0; i < 10; i++ {
+		a = a.Append(h, rt.Int(int64(i)))
+	}
+	if !a.IsPacked() || a.Len() != 10 {
+		t.Fatalf("append broke packed layout: packed=%v len=%d", a.IsPacked(), a.Len())
+	}
+}
+
+func TestMixedInsertionOrder(t *testing.T) {
+	h := rt.NewHeap()
+	a := rt.NewMixed()
+	keys := []string{"z", "a", "m"}
+	for i, k := range keys {
+		a = a.Set(h, rt.NewStr(k), rt.Int(int64(i)))
+	}
+	var got []string
+	a.Each(func(k, _ rt.Value) bool { got = append(got, k.ToString()); return true })
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("iteration order %v != insertion order %v", got, keys)
+		}
+	}
+}
+
+func TestArrayRemoveAndTombstones(t *testing.T) {
+	h := rt.NewHeap()
+	a := rt.NewMixed()
+	a = a.Set(h, rt.NewStr("a"), rt.Int(1))
+	a = a.Set(h, rt.NewStr("b"), rt.Int(2))
+	a = a.Remove(h, rt.NewStr("a"))
+	if a.Len() != 1 {
+		t.Fatalf("len after remove = %d", a.Len())
+	}
+	if _, ok := a.Get(rt.NewStr("a")); ok {
+		t.Fatal("removed key still present")
+	}
+	var seen int
+	a.Each(func(_, _ rt.Value) bool { seen++; return true })
+	if seen != 1 {
+		t.Fatalf("iteration visited %d entries", seen)
+	}
+}
+
+func TestPHPSemanticsOps(t *testing.T) {
+	h := rt.NewHeap()
+	// Int+Int stays int; Int+Dbl promotes.
+	v, err := rt.Add(h, rt.Int(2), rt.Int(3))
+	if err != nil || v.Kind != types.KInt || v.I != 5 {
+		t.Errorf("2+3 = %v (%v)", v.DebugString(), err)
+	}
+	v, _ = rt.Add(h, rt.Int(2), rt.Dbl(0.5))
+	if v.Kind != types.KDbl || v.D != 2.5 {
+		t.Errorf("2+0.5 = %v", v.DebugString())
+	}
+	// Int/Int exact stays int; inexact goes double.
+	v, _ = rt.Div(rt.Int(6), rt.Int(3))
+	if v.Kind != types.KInt || v.I != 2 {
+		t.Errorf("6/3 = %v", v.DebugString())
+	}
+	v, _ = rt.Div(rt.Int(7), rt.Int(2))
+	if v.Kind != types.KDbl || v.D != 3.5 {
+		t.Errorf("7/2 = %v", v.DebugString())
+	}
+	if _, err := rt.Div(rt.Int(1), rt.Int(0)); err == nil {
+		t.Error("1/0 should error")
+	}
+	// Loose vs strict equality.
+	if !rt.LooseEq(rt.Int(1), rt.Dbl(1)) {
+		t.Error("1 == 1.0 should be loosely true")
+	}
+	if rt.StrictEq(rt.Int(1), rt.Dbl(1)) {
+		t.Error("1 === 1.0 should be strictly false")
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	cases := []struct {
+		v    rt.Value
+		want bool
+	}{
+		{rt.Int(0), false}, {rt.Int(1), true},
+		{rt.NewStr(""), false}, {rt.NewStr("0"), false}, {rt.NewStr("x"), true},
+		{rt.Null(), false}, {rt.Bool(true), true},
+		{rt.ArrV(rt.NewPacked(nil)), false},
+		{rt.ArrV(rt.NewPacked([]rt.Value{rt.Int(0)})), true},
+	}
+	for _, c := range cases {
+		if c.v.Bool() != c.want {
+			t.Errorf("truthiness of %s = %v, want %v", c.v.DebugString(), c.v.Bool(), c.want)
+		}
+	}
+}
+
+// Property: for any sequence of Set operations on an unshared array,
+// Get returns the last value written per key and Len matches the
+// distinct-key count.
+func TestArraySetGetProperty(t *testing.T) {
+	f := func(keys []uint8, vals []int64) bool {
+		h := rt.NewHeap()
+		a := rt.NewMixed()
+		model := map[int64]int64{}
+		for i, k := range keys {
+			if i >= len(vals) {
+				break
+			}
+			kk := int64(k % 16)
+			a = a.Set(h, rt.Int(kk), rt.Int(vals[i]))
+			model[kk] = vals[i]
+		}
+		if a.Len() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := a.Get(rt.Int(k))
+			if !ok || got.I != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: COW preserves the original array exactly.
+func TestCOWPreservesOriginalProperty(t *testing.T) {
+	f := func(vals []int64, idx uint8, nv int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := rt.NewHeap()
+		elems := make([]rt.Value, len(vals))
+		for i, v := range vals {
+			elems[i] = rt.Int(v)
+		}
+		a := rt.NewPacked(elems)
+		av := rt.ArrV(a)
+		h.IncRef(av)
+		i := int64(idx) % int64(len(vals))
+		b := a.Set(h, rt.Int(i), rt.Int(nv))
+		// Original unchanged at every index.
+		for j, v := range vals {
+			got, _ := a.GetIntKey(int64(j))
+			if got.I != v {
+				return false
+			}
+		}
+		got, _ := b.GetIntKey(i)
+		return got.I == nv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestObjectProps(t *testing.T) {
+	h := rt.NewHeap()
+	cls := &rt.Class{
+		Name:      "P",
+		PropNames: map[string]int{"x": 0, "y": 1},
+		PropInit:  []rt.Value{rt.Int(0), rt.Int(0)},
+		Methods:   map[string]int{},
+	}
+	o := h.NewObject(cls)
+	if err := o.SetProp(h, "x", rt.Int(42)); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := o.GetProp("x")
+	if !ok || v.I != 42 {
+		t.Fatalf("prop x = %v", v.DebugString())
+	}
+	if err := o.SetProp(h, "nope", rt.Int(1)); err == nil {
+		t.Error("unknown property write should error")
+	}
+}
+
+func TestBuiltinTable(t *testing.T) {
+	b, ok := rt.LookupBuiltin("count")
+	if !ok {
+		t.Fatal("count missing")
+	}
+	ctx := &rt.BuiltinCtx{Heap: rt.NewHeap()}
+	arr := rt.ArrV(rt.NewPacked([]rt.Value{rt.Int(1), rt.Int(2)}))
+	v, err := b.Fn(ctx, []rt.Value{arr})
+	if err != nil || v.I != 2 {
+		t.Fatalf("count = %v (%v)", v.DebugString(), err)
+	}
+	if len(rt.BuiltinNames()) < 20 {
+		t.Errorf("builtin table suspiciously small: %d", len(rt.BuiltinNames()))
+	}
+}

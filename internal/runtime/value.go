@@ -1,0 +1,202 @@
+// Package runtime implements the guest-language runtime: typed values,
+// the explicit reference-counted heap (observable destructors,
+// copy-on-write arrays — the two PHP features the paper calls out),
+// classes and objects, and the builtin function table.
+//
+// The host Go garbage collector manages host memory; guest reference
+// counts are explicit fields so that the JIT's IncRef/DecRef
+// instructions and the RCE optimization have real, observable
+// semantics.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/types"
+)
+
+// Value is the guest TypedValue: a kind tag plus payload. Exactly one
+// payload field is meaningful for a given kind.
+type Value struct {
+	Kind types.Kind
+	I    int64 // Int; Bool stores 0/1
+	D    float64
+	S    *Str
+	A    *Array
+	O    *Object
+}
+
+// Constructors.
+func Uninit() Value { return Value{Kind: types.KUninit} }
+func Null() Value   { return Value{Kind: types.KNull} }
+func Bool(b bool) Value {
+	v := Value{Kind: types.KBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+func Int(i int64) Value    { return Value{Kind: types.KInt, I: i} }
+func Dbl(d float64) Value  { return Value{Kind: types.KDbl, D: d} }
+func StrV(s *Str) Value    { return Value{Kind: types.KStr, S: s} }
+func ArrV(a *Array) Value  { return Value{Kind: types.KArr, A: a} }
+func ObjV(o *Object) Value { return Value{Kind: types.KObj, O: o} }
+
+// NewStr allocates a fresh counted guest string.
+func NewStr(s string) Value { return StrV(&Str{Data: s, refs: 1}) }
+
+// Bool reports the PHP truthiness of v.
+func (v Value) Bool() bool {
+	switch v.Kind {
+	case types.KBool, types.KInt:
+		return v.I != 0
+	case types.KDbl:
+		return v.D != 0
+	case types.KStr:
+		return v.S.Data != "" && v.S.Data != "0"
+	case types.KArr:
+		return v.A.Len() > 0
+	case types.KObj:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsNull reports Null or Uninit.
+func (v Value) IsNull() bool { return v.Kind == types.KNull || v.Kind == types.KUninit }
+
+// Counted reports whether v participates in reference counting.
+func (v Value) Counted() bool { return v.Kind&types.KCounted != 0 }
+
+// Type returns the most specific static type describing v, including
+// array-kind and exact-class specializations.
+func (v Value) Type() types.Type {
+	switch v.Kind {
+	case types.KArr:
+		if v.A.IsPacked() {
+			return types.ArrOfKind(types.ArrayPacked)
+		}
+		return types.ArrOfKind(types.ArrayMixed)
+	case types.KObj:
+		return types.ObjOfClass(v.O.Class.Name, true)
+	default:
+		return types.FromKind(v.Kind)
+	}
+}
+
+// ToDbl converts numerics (and numeric strings) to float64.
+func (v Value) ToDbl() float64 {
+	switch v.Kind {
+	case types.KInt, types.KBool:
+		return float64(v.I)
+	case types.KDbl:
+		return v.D
+	case types.KStr:
+		f, _ := strconv.ParseFloat(v.S.Data, 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// ToInt converts to int64 following PHP's (simplified) rules.
+func (v Value) ToInt() int64 {
+	switch v.Kind {
+	case types.KInt, types.KBool:
+		return v.I
+	case types.KDbl:
+		if math.IsNaN(v.D) || math.IsInf(v.D, 0) {
+			return 0
+		}
+		return int64(v.D)
+	case types.KStr:
+		n, _ := strconv.ParseInt(v.S.Data, 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// ToString renders v the way echo would.
+func (v Value) ToString() string {
+	switch v.Kind {
+	case types.KUninit, types.KNull:
+		return ""
+	case types.KBool:
+		if v.I != 0 {
+			return "1"
+		}
+		return ""
+	case types.KInt:
+		return strconv.FormatInt(v.I, 10)
+	case types.KDbl:
+		return formatDouble(v.D)
+	case types.KStr:
+		return v.S.Data
+	case types.KArr:
+		return "Array"
+	case types.KObj:
+		return "Object(" + v.O.Class.Name + ")"
+	default:
+		return ""
+	}
+}
+
+func formatDouble(d float64) string {
+	if d == math.Trunc(d) && math.Abs(d) < 1e15 {
+		return strconv.FormatFloat(d, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(d, 'G', 14, 64)
+}
+
+// DebugString renders a value for diagnostics (not guest-visible).
+func (v Value) DebugString() string {
+	switch v.Kind {
+	case types.KUninit:
+		return "Uninit"
+	case types.KNull:
+		return "null"
+	case types.KBool:
+		return strconv.FormatBool(v.I != 0)
+	case types.KStr:
+		return fmt.Sprintf("%q", v.S.Data)
+	case types.KArr:
+		return fmt.Sprintf("Array(len=%d,refs=%d)", v.A.Len(), v.A.refs)
+	case types.KObj:
+		return fmt.Sprintf("Object(%s,refs=%d)", v.O.Class.Name, v.O.refs)
+	default:
+		return v.ToString()
+	}
+}
+
+// Str is a counted guest string.
+type Str struct {
+	Data string
+	refs int32
+	// static strings (unit literals) are never freed and skip
+	// refcounting, mirroring HHVM's static string table.
+	static bool
+}
+
+// Refs returns the current reference count (for tests and RCE
+// verification).
+func (s *Str) Refs() int32 { return s.refs }
+
+// Static marks and reports interned unit literals.
+func (s *Str) Static() bool { return s.static }
+
+// internTable is the static string table shared by all loaded units.
+var internTable = map[string]*Str{}
+
+// InternStr returns the shared static string for s.
+func InternStr(s string) *Str {
+	if v, ok := internTable[s]; ok {
+		return v
+	}
+	v := &Str{Data: s, refs: 1, static: true}
+	internTable[s] = v
+	return v
+}

@@ -1,0 +1,199 @@
+// Package server simulates a web server resuming production traffic
+// after a restart — the Figure 9 experiment: JITed code grows as
+// profiling translations are minted (point A), the global trigger
+// recompiles everything and publishes optimized code (points B–C),
+// and requests-per-second climbs to (and transiently beyond) the
+// steady-state level as redirected fleet traffic lands on the warmed
+// server. Point D (code cache full) appears when the cache limit is
+// small enough to be hit.
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/jit"
+	"repro/internal/perflab"
+	"repro/internal/workload"
+)
+
+// Sample is one timeline point.
+type Sample struct {
+	Minute float64
+	// CodeBytes is total JITed code resident.
+	CodeBytes uint64
+	// RPSPct is throughput relative to steady state (100 = steady).
+	RPSPct float64
+	// Event marks lifecycle points ("A" profiling done, "C" optimized
+	// published, "D" cache full).
+	Event string
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// Minutes of simulated time.
+	Minutes int
+	// CyclesPerMinute is the server's compute budget per simulated
+	// minute.
+	CyclesPerMinute uint64
+	// JIT is the engine configuration.
+	JIT jit.Config
+	// Utilization is the steady-state demand as a fraction of server
+	// capacity (production servers keep headroom; the headroom is
+	// what lets a warmed server absorb redirected fleet traffic and
+	// exceed 100% of steady-state RPS).
+	Utilization float64
+	// FleetWaveAt/FleetWaveMinutes: when other restart waves shift
+	// extra traffic here (the >100% RPS stretch in Figure 9).
+	FleetWaveAt      int
+	FleetWaveMinutes int
+	// Seed for request-mix sampling.
+	Seed int64
+}
+
+// DefaultConfig approximates the paper's 30-minute window.
+func DefaultConfig() Config {
+	c := Config{
+		Minutes:          30,
+		CyclesPerMinute:  2_500_000,
+		JIT:              jit.DefaultConfig(),
+		Utilization:      0.62,
+		FleetWaveAt:      10,
+		FleetWaveMinutes: 6,
+		Seed:             1,
+	}
+	c.JIT.ProfileTrigger = 15000
+	return c
+}
+
+// Result is the full timeline plus steady-state calibration.
+type Result struct {
+	Samples []Sample
+	// SteadyRPS is the calibrated steady-state requests/minute.
+	SteadyRPS float64
+	// SteadyCodeBytes is the steady-state code footprint.
+	SteadyCodeBytes uint64
+	// PctTimeInLiveCode approximates the paper's "8% of JITed-code
+	// time in live translations" steady-state metric.
+	PctTimeInLiveCode float64
+}
+
+// Simulate runs the restart timeline.
+func Simulate(cfg Config) (*Result, error) {
+	if cfg.Minutes == 0 {
+		cfg = DefaultConfig()
+	}
+	// Calibrate steady state with a fully warmed engine.
+	steadyEng, eps, err := perflab.NewEngine(cfg.JIT)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pick := func(r *rand.Rand) workload.Endpoint {
+		x := r.Float64()
+		acc := 0.0
+		for _, ep := range eps {
+			acc += ep.Weight
+			if x <= acc {
+				return ep
+			}
+		}
+		return eps[len(eps)-1]
+	}
+	for i := 0; i < 60; i++ {
+		for _, ep := range eps {
+			if _, _, err := perflab.RunEndpoint(steadyEng, ep.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var steadyCycles uint64
+	steadyN := 0
+	for i := 0; i < 40; i++ {
+		ep := pick(rng)
+		c, _, err := perflab.RunEndpoint(steadyEng, ep.Name)
+		if err != nil {
+			return nil, err
+		}
+		steadyCycles += c
+		steadyN++
+	}
+	steadyPerReq := float64(steadyCycles) / float64(steadyN)
+	if cfg.Utilization == 0 {
+		cfg.Utilization = 0.62
+	}
+	capacityRPS := float64(cfg.CyclesPerMinute) / steadyPerReq
+	steadyRPS := cfg.Utilization * capacityRPS
+
+	// Fresh server: replay the restart.
+	eng, _, err := perflab.NewEngine(cfg.JIT)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		SteadyRPS: steadyRPS,
+		SteadyCodeBytes: steadyEng.Stats().BytesOptimized +
+			steadyEng.Stats().BytesLive + steadyEng.Stats().BytesProfiling,
+	}
+	rng = rand.New(rand.NewSource(cfg.Seed + 1))
+	sawOptimize := false
+	sawProfilingDone := false
+	sawFull := false
+	for minute := 0; minute < cfg.Minutes; minute++ {
+		budget := cfg.CyclesPerMinute
+		// Fleet-wave overload window: load balancers shift traffic of
+		// restarting peers onto this (now warm) server.
+		demand := steadyRPS
+		if minute >= cfg.FleetWaveAt && minute < cfg.FleetWaveAt+cfg.FleetWaveMinutes {
+			demand = steadyRPS * 1.6
+		}
+		served := 0
+		start := eng.Cycles()
+		for float64(served) < demand && eng.Cycles()-start < budget {
+			ep := pick(rng)
+			if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
+				return nil, err
+			}
+			served++
+		}
+		st := eng.Stats()
+		code := st.BytesProfiling + st.BytesOptimized + st.BytesLive
+		ev := ""
+		if !sawProfilingDone && st.ProfilingTranslations > 0 && st.OptimizeRuns == 0 &&
+			minute >= 1 {
+			ev = "A"
+			sawProfilingDone = true
+		}
+		if !sawOptimize && st.OptimizeRuns > 0 {
+			ev = "C"
+			sawOptimize = true
+		}
+		if !sawFull && st.CacheFullEvents > 0 {
+			ev = "D"
+			sawFull = true
+		}
+		res.Samples = append(res.Samples, Sample{
+			Minute:    float64(minute + 1),
+			CodeBytes: code,
+			RPSPct:    100 * float64(served) / steadyRPS,
+			Event:     ev,
+		})
+	}
+	st := eng.Stats()
+	if st.MachineCycles > 0 {
+		res.PctTimeInLiveCode = 100 * float64(st.BytesLive) /
+			float64(st.BytesLive+st.BytesOptimized)
+	}
+	return res, nil
+}
+
+// Report renders the timeline.
+func Report(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "%6s %12s %8s %s\n", "minute", "code(bytes)", "RPS%", "event")
+	for _, s := range r.Samples {
+		fmt.Fprintf(w, "%6.0f %12d %8.1f %s\n", s.Minute, s.CodeBytes, s.RPSPct, s.Event)
+	}
+	fmt.Fprintf(w, "steady RPS=%.1f/min, steady code=%d bytes, live-code share=%.1f%%\n",
+		r.SteadyRPS, r.SteadyCodeBytes, r.PctTimeInLiveCode)
+}

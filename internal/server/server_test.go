@@ -1,0 +1,54 @@
+package server_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestStartupTimeline reproduces Figure 9's qualitative shape: code
+// grows during profiling, the optimize event fires, and RPS climbs
+// from a depressed warmup level to (and past) steady state.
+func TestStartupTimeline(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Minutes = 20
+	cfg.CyclesPerMinute = 1_200_000
+	res, err := server.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server.Report(os.Stderr, res)
+	if len(res.Samples) != cfg.Minutes {
+		t.Fatalf("expected %d samples, got %d", cfg.Minutes, len(res.Samples))
+	}
+	// Code grows monotonically-ish and an optimize event appears.
+	sawOpt := false
+	for _, s := range res.Samples {
+		if s.Event == "C" {
+			sawOpt = true
+		}
+	}
+	if !sawOpt {
+		t.Error("the global retranslation trigger never fired")
+	}
+	// RPS at the start is below steady; by the end it reaches ~steady.
+	first := res.Samples[0].RPSPct
+	last := res.Samples[len(res.Samples)-1].RPSPct
+	if first >= 95 {
+		t.Errorf("first-minute RPS %.1f%% should be well below steady state", first)
+	}
+	if last < 90 {
+		t.Errorf("final RPS %.1f%% should have recovered to steady state", last)
+	}
+	// The fleet-wave window pushes RPS above steady state.
+	over := false
+	for _, s := range res.Samples {
+		if s.RPSPct > 110 {
+			over = true
+		}
+	}
+	if !over {
+		t.Error("no above-steady-state stretch (fleet redirect) observed")
+	}
+}

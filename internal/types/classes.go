@@ -1,0 +1,77 @@
+package types
+
+import "sync"
+
+// ClassHierarchy records the guest class hierarchy so that object
+// types can answer subtype questions. The compiler registers classes
+// when a unit is loaded; types only needs names and edges.
+type ClassHierarchy struct {
+	mu     sync.RWMutex
+	parent map[string]string
+	ifaces map[string][]string
+}
+
+var classTable = &ClassHierarchy{
+	parent: make(map[string]string),
+	ifaces: make(map[string][]string),
+}
+
+// RegisterClass records cls extending parent ("" for none) and
+// implementing ifaces. Safe to call repeatedly.
+func RegisterClass(cls, parent string, ifaces []string) {
+	classTable.mu.Lock()
+	defer classTable.mu.Unlock()
+	classTable.parent[cls] = parent
+	classTable.ifaces[cls] = append([]string(nil), ifaces...)
+}
+
+// ResetClasses clears the hierarchy (used between test units).
+func ResetClasses() {
+	classTable.mu.Lock()
+	defer classTable.mu.Unlock()
+	classTable.parent = make(map[string]string)
+	classTable.ifaces = make(map[string][]string)
+}
+
+// IsSubclassOf reports whether sub is cls or a descendant, or
+// implements cls as an interface.
+func IsSubclassOf(sub, cls string) bool {
+	return sub == cls || classTable.isSubclass(sub, cls)
+}
+
+func (h *ClassHierarchy) isSubclass(sub, cls string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.isSubclassLocked(sub, cls)
+}
+
+func (h *ClassHierarchy) isSubclassLocked(sub, cls string) bool {
+	for c := sub; c != ""; c = h.parent[c] {
+		if c == cls {
+			return true
+		}
+		for _, iface := range h.ifaces[c] {
+			if iface == cls || h.isSubclassLocked(iface, cls) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commonAncestor returns the closest class that is an ancestor of
+// both, or "".
+func (h *ClassHierarchy) commonAncestor(a, b string) string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	seen := make(map[string]bool)
+	for c := a; c != ""; c = h.parent[c] {
+		seen[c] = true
+	}
+	for c := b; c != ""; c = h.parent[c] {
+		if seen[c] {
+			return c
+		}
+	}
+	return ""
+}

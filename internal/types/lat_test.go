@@ -1,0 +1,19 @@
+package types_test
+
+import "testing"
+
+func TestLatticeBrute(t *testing.T) {
+	ts := sampleTypes()
+	for _, a := range ts {
+		for _, b := range ts {
+			u := a.Union(b)
+			if !a.SubtypeOf(u) || !b.SubtypeOf(u) {
+				t.Errorf("union bad: %v U %v = %v", a, b, u)
+			}
+			i := a.Intersect(b)
+			if !i.SubtypeOf(a) || !i.SubtypeOf(b) {
+				t.Errorf("intersect bad: %v ^ %v = %v", a, b, i)
+			}
+		}
+	}
+}

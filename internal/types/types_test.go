@@ -1,0 +1,147 @@
+package types_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func sampleTypes() []types.Type {
+	return []types.Type{
+		types.TBottom, types.TUninit, types.TNull, types.TBool, types.TInt,
+		types.TDbl, types.TStr, types.TArr, types.TObj, types.TNum,
+		types.TUncounted, types.TCounted, types.TCell, types.TInitCell,
+		types.ArrOfKind(types.ArrayPacked), types.ArrOfKind(types.ArrayMixed),
+		types.ObjOfClass("A", true), types.ObjOfClass("A", false),
+		types.ObjOfClass("B", true),
+	}
+}
+
+func init() {
+	types.ResetClasses()
+	types.RegisterClass("A", "", nil)
+	types.RegisterClass("B", "A", nil)
+	types.RegisterClass("C", "", []string{"I"})
+}
+
+func TestSubtypeBasics(t *testing.T) {
+	cases := []struct {
+		sub, super types.Type
+		want       bool
+	}{
+		{types.TInt, types.TNum, true},
+		{types.TNum, types.TInt, false},
+		{types.TInt, types.TUncounted, true},
+		{types.TStr, types.TUncounted, false},
+		{types.TStr, types.TCounted, true},
+		{types.ArrOfKind(types.ArrayPacked), types.TArr, true},
+		{types.TArr, types.ArrOfKind(types.ArrayPacked), false},
+		{types.ObjOfClass("B", true), types.ObjOfClass("A", false), true},
+		{types.ObjOfClass("A", true), types.ObjOfClass("B", false), false},
+		{types.ObjOfClass("B", true), types.TObj, true},
+		{types.TBottom, types.TInt, true},
+	}
+	for _, c := range cases {
+		if got := c.sub.SubtypeOf(c.super); got != c.want {
+			t.Errorf("%v <= %v: got %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestLatticeProperties(t *testing.T) {
+	ts := sampleTypes()
+	rng := rand.New(rand.NewSource(7))
+	pick := func() types.Type { return ts[rng.Intn(len(ts))] }
+
+	// Union is an upper bound; Intersect is a lower bound.
+	f := func() bool {
+		a, b := pick(), pick()
+		u := a.Union(b)
+		if !a.SubtypeOf(u) || !b.SubtypeOf(u) {
+			return false
+		}
+		i := a.Intersect(b)
+		if !i.SubtypeOf(a) || !i.SubtypeOf(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutative(t *testing.T) {
+	ts := sampleTypes()
+	for _, a := range ts {
+		for _, b := range ts {
+			ab, ba := a.Union(b), b.Union(a)
+			if !(ab.SubtypeOf(ba) && ba.SubtypeOf(ab)) {
+				t.Errorf("union not commutative: %v vs %v -> %v / %v", a, b, ab, ba)
+			}
+		}
+	}
+}
+
+func TestIntersectIdempotent(t *testing.T) {
+	for _, a := range sampleTypes() {
+		if got := a.Intersect(a); got != a {
+			// Equal up to mutual subtyping is acceptable.
+			if !(got.SubtypeOf(a) && a.SubtypeOf(got)) {
+				t.Errorf("intersect not idempotent for %v: got %v", a, got)
+			}
+		}
+	}
+}
+
+func TestSubtypeTransitivity(t *testing.T) {
+	ts := sampleTypes()
+	for _, a := range ts {
+		for _, b := range ts {
+			for _, c := range ts {
+				if a.SubtypeOf(b) && b.SubtypeOf(c) && !a.SubtypeOf(c) {
+					t.Errorf("transitivity violated: %v <= %v <= %v but not %v <= %v",
+						a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestCounted(t *testing.T) {
+	if types.TInt.MaybeCounted() {
+		t.Error("Int should not be counted")
+	}
+	if !types.TStr.Counted() {
+		t.Error("Str should be counted")
+	}
+	if !types.TCell.MaybeCounted() || types.TCell.Counted() {
+		t.Error("Cell should be maybe-counted but not definitely counted")
+	}
+}
+
+func TestSpecializationFlags(t *testing.T) {
+	if !types.ArrOfKind(types.ArrayPacked).IsSpecialized() {
+		t.Error("packed array should be specialized")
+	}
+	if !types.ObjOfClass("A", true).IsSpecialized() {
+		t.Error("exact class should be specialized")
+	}
+	if types.TArr.IsSpecialized() {
+		t.Error("plain Arr should not be specialized")
+	}
+	if !types.TInt.IsSpecific() || types.TNum.IsSpecific() {
+		t.Error("IsSpecific misclassifies Int/Num")
+	}
+}
+
+func TestInterfaceSubtyping(t *testing.T) {
+	if !types.IsSubclassOf("C", "I") {
+		t.Error("C implements I")
+	}
+	if types.IsSubclassOf("A", "I") {
+		t.Error("A does not implement I")
+	}
+}

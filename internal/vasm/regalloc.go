@@ -1,0 +1,402 @@
+package vasm
+
+import "sort"
+
+// Allocate performs linear-scan register allocation in the style of
+// Wimmer & Franz (SSA-based linear scan): live intervals over a
+// linearized block order, NumPhysRegs physical cell registers, and
+// spill slots for the overflow. Spilled virtual registers get a
+// Reload before each use and a Spill after each definition.
+func Allocate(u *Unit) {
+	lin := linearize(u)
+
+	// Live intervals [start, end] per vreg over linear positions.
+	type interval struct {
+		vreg       Reg
+		start, end int
+	}
+	starts, ends := liveIntervals(u, lin)
+
+	var ivs []interval
+	for r, s := range starts {
+		ivs = append(ivs, interval{vreg: r, start: s, end: ends[r]})
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].vreg < ivs[j].vreg
+	})
+
+	phys := map[Reg]Reg{}  // vreg -> physical
+	spill := map[Reg]int{} // vreg -> spill slot
+	type active struct {
+		vreg Reg
+		end  int
+		p    Reg
+	}
+	var act []active
+	freeRegs := make([]Reg, 0, NumPhysRegs)
+	for i := NumPhysRegs - 1; i >= 0; i-- {
+		freeRegs = append(freeRegs, Reg(i))
+	}
+	nextSpill := 0
+
+	for _, iv := range ivs {
+		// Expire old intervals.
+		na := act[:0]
+		for _, a := range act {
+			if a.end < iv.start {
+				freeRegs = append(freeRegs, a.p)
+			} else {
+				na = append(na, a)
+			}
+		}
+		act = na
+		if len(freeRegs) > 0 {
+			p := freeRegs[len(freeRegs)-1]
+			freeRegs = freeRegs[:len(freeRegs)-1]
+			phys[iv.vreg] = p
+			act = append(act, active{iv.vreg, iv.end, p})
+			continue
+		}
+		// Spill the interval ending furthest away.
+		furthest := -1
+		for i, a := range act {
+			if furthest < 0 || a.end > act[furthest].end {
+				furthest = i
+			}
+		}
+		if act[furthest].end > iv.end {
+			victim := act[furthest]
+			spill[victim.vreg] = nextSpill
+			nextSpill++
+			delete(phys, victim.vreg)
+			phys[iv.vreg] = victim.p
+			act[furthest] = active{iv.vreg, iv.end, victim.p}
+		} else {
+			spill[iv.vreg] = nextSpill
+			nextSpill++
+		}
+	}
+
+	// Rewrite instructions: spilled registers borrow a reserved
+	// scratch physical register via Reload/Spill around each
+	// use/definition. Two scratch registers cover binary ops.
+	rewrite(u, lin, phys, spill)
+	u.NumSpills = nextSpill
+}
+
+type instrRef struct{ block, idx int }
+
+// linearize returns instruction references in layout (or natural)
+// block order.
+func linearize(u *Unit) []instrRef {
+	order := u.Layout
+	if order == nil {
+		order = make([]int, len(u.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	var out []instrRef
+	for _, bi := range order {
+		for i := range u.Blocks[bi].Instrs {
+			out = append(out, instrRef{bi, i})
+		}
+	}
+	return out
+}
+
+// liveIntervals computes [start, end] per virtual register using a
+// backward liveness dataflow over the block graph, then widening each
+// register's interval to cover every linear position where it is
+// live — the interval construction of Wimmer-Franz linear scan.
+func liveIntervals(u *Unit, lin []instrRef) (map[Reg]int, map[Reg]int) {
+	// Per-instruction uses/defs.
+	uses := func(in *Instr, f func(Reg)) {
+		if in.A != InvalidReg {
+			f(in.A)
+		}
+		if in.B != InvalidReg {
+			f(in.B)
+		}
+		for _, r := range in.Args {
+			f(r)
+		}
+		if in.Ex != nil {
+			for _, r := range in.Ex.StackRegs {
+				f(r)
+			}
+			for ii := in.Ex.Inline; ii != nil; ii = ii.Parent {
+				if ii.ThisReg != InvalidReg {
+					f(ii.ThisReg)
+				}
+				for _, r := range ii.CallerStackRegs {
+					f(r)
+				}
+			}
+		}
+	}
+
+	// Successor map (all jump targets, including guard edges).
+	succs := make([][]int, len(u.Blocks))
+	for bi, b := range u.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case Jmp, GuardKind, GuardCls:
+				if in.Target1 >= 0 {
+					succs[bi] = append(succs[bi], in.Target1)
+				}
+			case Jcc:
+				succs[bi] = append(succs[bi], in.Target1, in.Target2)
+			case JmpTable:
+				tbl := u.Tables[in.I64]
+				succs[bi] = append(succs[bi], tbl.Targets...)
+				succs[bi] = append(succs[bi], tbl.Default)
+			case ArrGetPkI, Helper, CallFunc, CallMethodD, CallMethodC, CallBuiltin:
+				if in.Target1 >= 0 {
+					succs[bi] = append(succs[bi], in.Target1)
+				}
+			}
+		}
+	}
+
+	// gen/kill per block (backward within the block).
+	gen := make([]map[Reg]bool, len(u.Blocks))
+	kill := make([]map[Reg]bool, len(u.Blocks))
+	for bi, b := range u.Blocks {
+		g, k := map[Reg]bool{}, map[Reg]bool{}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			if in.D != InvalidReg {
+				k[in.D] = true
+				delete(g, in.D)
+			}
+			uses(in, func(r Reg) { g[r] = true })
+		}
+		gen[bi], kill[bi] = g, k
+	}
+
+	// Backward dataflow to a fixpoint.
+	liveIn := make([]map[Reg]bool, len(u.Blocks))
+	liveOut := make([]map[Reg]bool, len(u.Blocks))
+	for i := range liveIn {
+		liveIn[i] = map[Reg]bool{}
+		liveOut[i] = map[Reg]bool{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bi := len(u.Blocks) - 1; bi >= 0; bi-- {
+			out := liveOut[bi]
+			for _, s := range succs[bi] {
+				if s < 0 || s >= len(u.Blocks) {
+					continue
+				}
+				for r := range liveIn[s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[bi]
+			for r := range out {
+				if !kill[bi][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range gen[bi] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Build intervals over linear positions.
+	starts := map[Reg]int{}
+	ends := map[Reg]int{}
+	touch := func(r Reg, pos int) {
+		if r == InvalidReg {
+			return
+		}
+		if s, ok := starts[r]; !ok || pos < s {
+			starts[r] = pos
+		}
+		if pos > ends[r] {
+			ends[r] = pos
+		}
+	}
+	blockFirst := map[int]int{}
+	blockLast := map[int]int{}
+	for pos, ref := range lin {
+		if _, ok := blockFirst[ref.block]; !ok {
+			blockFirst[ref.block] = pos
+		}
+		blockLast[ref.block] = pos
+	}
+	for pos, ref := range lin {
+		in := &u.Blocks[ref.block].Instrs[ref.idx]
+		uses(in, func(r Reg) { touch(r, pos) })
+		touch(in.D, pos)
+	}
+	for bi := range u.Blocks {
+		bf, ok := blockFirst[bi]
+		if !ok {
+			continue
+		}
+		bl := blockLast[bi]
+		for r := range liveIn[bi] {
+			touch(r, bf)
+		}
+		for r := range liveOut[bi] {
+			touch(r, bl)
+		}
+	}
+	return starts, ends
+}
+
+// Reserved scratch physical registers for spilled operands.
+const (
+	scratch0 = Reg(NumPhysRegs)
+	scratch1 = Reg(NumPhysRegs + 1)
+	scratch2 = Reg(NumPhysRegs + 2)
+)
+
+// TotalMachineRegs is the machine register file size (allocatable +
+// scratch).
+const TotalMachineRegs = NumPhysRegs + 3
+
+func rewrite(u *Unit, lin []instrRef, phys map[Reg]Reg, spill map[Reg]int) {
+	mapUse := func(r Reg, scratch Reg, pre *[]Instr) Reg {
+		if r == InvalidReg {
+			return r
+		}
+		if p, ok := phys[r]; ok {
+			return p
+		}
+		slot, ok := spill[r]
+		if !ok {
+			return 0 // defined but never allocated (unused): park in r0
+		}
+		in := nzInstr(Reload)
+		in.D = scratch
+		in.I64 = int64(slot)
+		*pre = append(*pre, in)
+		return scratch
+	}
+	mapDef := func(r Reg, scratch Reg, post *[]Instr) Reg {
+		if r == InvalidReg {
+			return r
+		}
+		if p, ok := phys[r]; ok {
+			return p
+		}
+		slot, ok := spill[r]
+		if !ok {
+			return 0
+		}
+		in := nzInstr(Spill)
+		in.A = scratch
+		in.I64 = int64(slot)
+		*post = append(*post, in)
+		return scratch
+	}
+
+	for _, b := range u.Blocks {
+		var out []Instr
+		for i := range b.Instrs {
+			in := b.Instrs[i]
+			var pre, post []Instr
+			in.A = mapUse(in.A, scratch0, &pre)
+			in.B = mapUse(in.B, scratch1, &pre)
+			for ai := range in.Args {
+				// Args beyond two scratches spill through scratch2
+				// sequentially; the machine consumes args before any
+				// further reloads, so sequential reuse is safe only
+				// for the materialization order. Use dedicated moves:
+				// args are copied into an argument area by the
+				// machine, so reload directly into scratch2 and copy.
+				r := in.Args[ai]
+				if r == InvalidReg {
+					continue
+				}
+				if p, ok := phys[r]; ok {
+					in.Args[ai] = p
+					continue
+				}
+				slot, ok := spill[r]
+				if !ok {
+					in.Args[ai] = 0
+					continue
+				}
+				// Reload into scratch2 then stash via a Copy into a
+				// fresh spill-backed "argument pseudo register": to
+				// keep the model simple the machine reads call args
+				// AFTER all reloads, so multiple spilled args would
+				// collide on scratch2. Instead, pass the spill slot
+				// through the high bits: the machine decodes arg regs
+				// >= spillRegBase as spill-slot reads.
+				in.Args[ai] = SpillRegBase + Reg(slot)
+				_ = scratch2
+			}
+			if in.Ex != nil {
+				ex := *in.Ex
+				ex.StackRegs = append([]Reg(nil), in.Ex.StackRegs...)
+				for si, r := range ex.StackRegs {
+					if p, ok := phys[r]; ok {
+						ex.StackRegs[si] = p
+					} else if slot, ok := spill[r]; ok {
+						ex.StackRegs[si] = SpillRegBase + Reg(slot)
+					} else {
+						ex.StackRegs[si] = 0
+					}
+				}
+				remap := func(r Reg) Reg {
+					if r == InvalidReg {
+						return r
+					}
+					if p, ok := phys[r]; ok {
+						return p
+					}
+					if slot, ok := spill[r]; ok {
+						return SpillRegBase + Reg(slot)
+					}
+					return 0
+				}
+				var remapInline func(ii *InlineInfo) *InlineInfo
+				remapInline = func(ii *InlineInfo) *InlineInfo {
+					if ii == nil {
+						return nil
+					}
+					ni := *ii
+					ni.CallerStackRegs = append([]Reg(nil), ii.CallerStackRegs...)
+					ni.ThisReg = remap(ni.ThisReg)
+					for si, r := range ni.CallerStackRegs {
+						ni.CallerStackRegs[si] = remap(r)
+					}
+					ni.Parent = remapInline(ii.Parent)
+					return &ni
+				}
+				ex.Inline = remapInline(in.Ex.Inline)
+				in.Ex = &ex
+			}
+			in.D = mapDef(in.D, scratch0, &post)
+			out = append(out, pre...)
+			out = append(out, in)
+			out = append(out, post...)
+		}
+		b.Instrs = out
+	}
+	_ = lin
+}
+
+// SpillRegBase: register numbers at or above this value denote spill
+// slots in call-argument and exit-stack lists (the machine reads them
+// from the spill area).
+const SpillRegBase = Reg(1 << 16)

@@ -1,0 +1,264 @@
+// Package vasm implements the Virtual Assembly representation: a
+// register-based, near-machine IR with an unbounded virtual register
+// file. Register allocation (SSA linear scan), jump optimization,
+// basic-block layout, and hot/cold splitting happen here (Section
+// 5.4), after which the code is placed into the simulated code cache
+// and executed by the machine model.
+package vasm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Reg is a register: virtual before allocation, physical (0 ..
+// NumPhysRegs-1) after. Each register holds one guest cell
+// (TypedValue), mirroring HHVM's use of a data+type register pair.
+type Reg int32
+
+// InvalidReg marks absent operands.
+const InvalidReg Reg = -1
+
+// NumPhysRegs is the physical cell-register file size.
+const NumPhysRegs = 12
+
+// Op enumerates Vasm instructions.
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	// Data movement.
+	LdImm  // D <- constant cell (Imm* fields)
+	Copy   // D <- A
+	LdLoc  // D <- frame local I64
+	StLoc  // frame local I64 <- A
+	LdStk  // D <- entry eval-stack slot I64
+	Spill  // spill slot I64 <- A
+	Reload // D <- spill slot I64
+
+	// Guards: kind/class tests that jump to Target1 (a stub or chain
+	// block) on failure.
+	GuardKind // fail unless kind(A) within TypeParam
+	GuardCls  // fail unless A is an object of class id I64
+
+	// Arithmetic on cells.
+	AddI
+	SubI
+	MulI
+	NegI
+	AddD
+	SubD
+	MulD
+	DivD
+	NegD
+	CmpI // D <- bool(A <cond I64> B)
+	CmpD
+
+	// Conversions (inline, type-dispatched on the cell's kind).
+	ToBool
+	ToInt
+	ToDbl
+
+	// Reference counting (inline fast path; DecRef reaching zero
+	// calls out to the destructor machinery).
+	IncRef
+	DecRef
+
+	// Array fast paths.
+	ArrCount  // D <- count(A)
+	ArrGetPkI // D <- A[B] for packed arrays; Target1 = catch stub on error
+
+	// Object fast paths.
+	LdProp // D <- A.props[I64] (+IncRef is separate)
+	StProp // A.props[I64] <- B (releases old value)
+	LdThis // D <- frame $this
+
+	// Out-of-line helper call: I64 = HelperID; Args in order;
+	// Target1 = catch stub (0 = none).
+	Helper
+
+	// Guest calls (through the VM dispatcher).
+	CallFunc    // I64 = callee func id; Args = args; Str = name
+	CallMethodD // I64 = callee func id; Args[0] = receiver
+	CallMethodC // Str = method name; I64 = inline-cache site id; Args[0] = receiver
+	CallBuiltin // Str = builtin name
+
+	// Profiling.
+	CountInc     // profile counter I64
+	ProfCallSite // record receiver class of Args[0] at site I64
+
+	// Control flow.
+	Jmp      // Target1
+	Jcc      // if bool(A): Target1 else Target2
+	JmpTable // indexed jump: I64 = table index into Unit.Tables; A = int cell
+	Ret      // return A (epilogue releases the frame)
+	Exit     // side exit / service request; Ex describes resumption
+	BindJmp  // region exit to bytecode pc I64; Ex materializes state
+
+	opCount
+)
+
+var opNames = [...]string{
+	Nop: "nop", LdImm: "ldimm", Copy: "copy", LdLoc: "ldloc", StLoc: "stloc",
+	LdStk: "ldstk", Spill: "spill", Reload: "reload",
+	GuardKind: "guardkind", GuardCls: "guardcls",
+	AddI: "addi", SubI: "subi", MulI: "muli", NegI: "negi",
+	AddD: "addd", SubD: "subd", MulD: "muld", DivD: "divd", NegD: "negd",
+	CmpI: "cmpi", CmpD: "cmpd",
+	ToBool: "tobool", ToInt: "toint", ToDbl: "todbl",
+	IncRef: "incref", DecRef: "decref",
+	ArrCount: "arrcount", ArrGetPkI: "arrgetpki",
+	LdProp: "ldprop", StProp: "stprop", LdThis: "ldthis",
+	Helper: "helper", CallFunc: "callfunc", CallMethodD: "callmethodd",
+	CallMethodC: "callmethodc", CallBuiltin: "callbuiltin",
+	CountInc: "countinc", ProfCallSite: "profcallsite",
+	Jmp: "jmp", Jcc: "jcc", JmpTable: "jmptable", Ret: "ret", Exit: "exit", BindJmp: "bindjmp",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// ExitInfo describes how to materialize VM state when leaving JITed
+// code at this point.
+type ExitInfo struct {
+	BCOff   int
+	IsCatch bool
+	// StackRegs hold the eval-stack values bottom-up.
+	StackRegs []Reg
+	// Inline is set for exits inside partially-inlined code.
+	Inline *InlineInfo
+}
+
+// InlineInfo mirrors hhir.InlineCtx at the register level. Parent
+// chains nested inline frames (innermost first at the exit).
+type InlineInfo struct {
+	FuncID          int
+	LocalsBase      int
+	ThisReg         Reg // InvalidReg if none
+	RetBCOff        int
+	CallerStackRegs []Reg
+	Parent          *InlineInfo
+}
+
+// Instr is one Vasm instruction.
+type Instr struct {
+	Op        Op
+	D, A, B   Reg
+	Args      []Reg
+	I64       int64
+	Str       string
+	TypeParam types.Type
+	// Target1/Target2 are block indices within the unit.
+	Target1, Target2 int
+	Ex               *ExitInfo
+}
+
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.D != InvalidReg {
+		fmt.Fprintf(&sb, "r%d = ", in.D)
+	}
+	sb.WriteString(in.Op.String())
+	if in.A != InvalidReg {
+		fmt.Fprintf(&sb, " r%d", in.A)
+	}
+	if in.B != InvalidReg {
+		fmt.Fprintf(&sb, " r%d", in.B)
+	}
+	for _, r := range in.Args {
+		fmt.Fprintf(&sb, " r%d", r)
+	}
+	if in.I64 != 0 {
+		fmt.Fprintf(&sb, " #%d", in.I64)
+	}
+	if in.Str != "" {
+		fmt.Fprintf(&sb, " %q", in.Str)
+	}
+	if in.Op == Jmp || in.Op == Jcc || in.Op == GuardKind || in.Op == GuardCls {
+		fmt.Fprintf(&sb, " ->B%d", in.Target1)
+	}
+	if in.Op == Jcc {
+		fmt.Fprintf(&sb, ",B%d", in.Target2)
+	}
+	return sb.String()
+}
+
+// ImmValue carries LdImm constants; stored per-instruction in a side
+// table to keep Instr compact.
+type ImmValue struct {
+	Kind types.Kind
+	I    int64
+	D    float64
+	S    string
+}
+
+// Block is a Vasm basic block.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	// Imms holds LdImm payloads: Instrs[i].I64 indexes it.
+	Hint   Hint
+	Weight uint64
+}
+
+// Hint mirrors hhir block hints for hot/cold splitting.
+type Hint uint8
+
+const (
+	HintNeutral Hint = iota
+	HintHot
+	HintCold
+	// HintStub marks exit stubs (frozen area).
+	HintStub
+)
+
+// JumpTable is a dense indexed-branch table.
+type JumpTable struct {
+	Base    int64
+	Targets []int // block ids
+	Default int
+}
+
+// Unit is a Vasm compilation unit.
+type Unit struct {
+	Blocks []*Block
+	// Imms is the constant pool for LdImm (I64 indexes it).
+	Imms []ImmValue
+	// Tables holds JmpTable targets.
+	Tables []JumpTable
+	// NumVRegs counts virtual registers before allocation.
+	NumVRegs int
+	// NumSpills counts spill slots after allocation.
+	NumSpills int
+	// ExtFrameSlots is the extended-frame size (inline frames).
+	ExtFrameSlots int
+	// Layout is the final block order after layout optimization
+	// (indices into Blocks).
+	Layout []int
+}
+
+func (u *Unit) String() string {
+	var sb strings.Builder
+	order := u.Layout
+	if order == nil {
+		order = make([]int, len(u.Blocks))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, bi := range order {
+		b := u.Blocks[bi]
+		fmt.Fprintf(&sb, "B%d: w=%d hint=%d\n", b.ID, b.Weight, b.Hint)
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", b.Instrs[i].String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,253 @@
+// Package vm couples the interpreter and the JIT: it dispatches guest
+// calls to the best available translation, falls back to
+// interpretation, and handles OSR in both directions — side exits out
+// of JITed code (including materializing inlined callee frames) and
+// re-entry into JITed code at loop back-edges.
+package vm
+
+import (
+	"io"
+
+	"repro/internal/hhbc"
+	"repro/internal/interp"
+	"repro/internal/jit"
+	"repro/internal/machine"
+	"repro/internal/runtime"
+)
+
+// VM is one virtual machine instance executing a loaded unit.
+type VM struct {
+	Env   *interp.Env
+	JIT   *jit.JIT
+	Meter *machine.Meter
+	Heap  *runtime.Heap
+
+	depth int
+}
+
+// New loads a unit with the given JIT configuration.
+func New(unit *hhbc.Unit, cfg jit.Config, out io.Writer) (*VM, error) {
+	heap := runtime.NewHeap()
+	env, err := interp.NewEnv(unit, heap, out)
+	if err != nil {
+		return nil, err
+	}
+	meter := &machine.Meter{}
+	env.Meter = meter
+	v := &VM{Env: env, Heap: heap, Meter: meter}
+	v.JIT = jit.New(cfg, env, meter)
+	v.JIT.Machine.CallGuest = v.CallFunc
+	env.Call = v.CallFunc
+	env.OSRCheck = func(fr *interp.Frame) bool {
+		return v.JIT.HasMatch(fr.Fn, fr) || v.JIT.WantsTranslation(fr.Fn, fr)
+	}
+	return v, nil
+}
+
+// SetOut redirects guest output (per request).
+func (v *VM) SetOut(w io.Writer) { v.Env.Out = w }
+
+// Main returns the pseudo-main function.
+func (v *VM) Main() *hhbc.Func { return v.Env.Unit.Funcs[v.Env.Unit.Main] }
+
+// RunMain executes the unit's pseudo-main (one "request").
+func (v *VM) RunMain() (runtime.Value, error) {
+	return v.CallFunc(v.Main(), nil, nil)
+}
+
+// CallFunc is the dispatcher: every guest call (from the interpreter,
+// from JITed code, and from the host) lands here.
+func (v *VM) CallFunc(f *hhbc.Func, this *runtime.Object, args []runtime.Value) (runtime.Value, error) {
+	if v.depth >= v.Env.MaxDepth {
+		for _, a := range args {
+			v.Heap.DecRef(a)
+		}
+		return runtime.Null(), runtime.NewError("maximum call depth exceeded")
+	}
+	v.depth++
+	defer func() { v.depth-- }()
+
+	v.JIT.OnEntry()
+	fr := interp.NewFrame(v.Env, f, this, args)
+	return v.runFrame(fr, nil)
+}
+
+// runFrame drives one activation to completion, alternating between
+// JITed code and the interpreter.
+func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Value, error) {
+	// skipJIT forces one interpreter stretch after a translation
+	// exits without making progress (e.g. its first instruction side
+	// exits), preventing a dispatch livelock.
+	skipJIT := false
+	for {
+		var tr *jit.Translation
+		if !skipJIT {
+			tr = v.JIT.Lookup(fr.Fn, fr)
+		}
+		skipJIT = false
+		if tr == nil {
+			// Interpret until return, uncaught error, or an OSR point
+			// with a usable translation.
+			before := v.Meter.Cycles
+			val, err := v.Env.Run(fr)
+			v.JIT.Stats.InterpCycles += v.Meter.Cycles - before
+			v.JIT.Stats.InterpRuns++
+			if err == interp.ErrOSR {
+				lastProf = nil
+				continue
+			}
+			return val, err
+		}
+		if lastProf != nil {
+			v.JIT.RecordArc(lastProf, tr)
+		}
+		if tr.Kind == jit.ModeProfiling {
+			lastProf = tr
+		} else {
+			lastProf = nil
+		}
+
+		entryPC := fr.PC
+		before := v.Meter.Cycles
+		if tr.Kind == jit.ModeProfiling {
+			// Profiling translations are unchained: every entry goes
+			// through the translation-service path.
+			v.Meter.Charge(profilingReentryCost)
+		}
+		out := v.JIT.Machine.Exec(tr.Code, fr)
+		v.JIT.Stats.MachineCycles += v.Meter.Cycles - before
+		v.JIT.Stats.MachineEnters++
+		v.JIT.Stats.GuardFails += uint64(out.GuardFails)
+		switch out.Kind {
+		case machine.SideExit:
+			v.JIT.Stats.SideExits++
+		case machine.BindRequest:
+			v.JIT.Stats.BindRequests++
+			v.Meter.Charge(bindDispatchCost)
+		}
+		switch out.Kind {
+		case machine.Returned:
+			return out.Value, nil
+		case machine.SideExit, machine.BindRequest:
+			if out.Inline == nil && out.BCOff == entryPC {
+				skipJIT = true
+			}
+			if out.Inline != nil {
+				val, err := v.resumeInlineChain(out.Inline, 0)
+				root := out.Inline[len(out.Inline)-1]
+				if err != nil {
+					if herr := v.unwind(fr, root.RetBCOff-1, err); herr != nil {
+						return runtime.Null(), herr
+					}
+					continue
+				}
+				fr.Stack = append(fr.Stack, val)
+				fr.PC = root.RetBCOff
+				continue
+			}
+			fr.PC = out.BCOff
+			continue
+		case machine.Threw:
+			if out.Inline != nil {
+				// Inlined callees have no handlers (inlining policy);
+				// release the materialized frames and unwind in the
+				// root caller at the outermost call site.
+				for _, ir := range out.Inline {
+					releaseFrame(v.Env, ir.Frame)
+				}
+				root := out.Inline[len(out.Inline)-1]
+				if herr := v.unwind(fr, root.RetBCOff-1, out.Err); herr != nil {
+					return runtime.Null(), herr
+				}
+				continue
+			}
+			if herr := v.unwind(fr, out.BCOff, out.Err); herr != nil {
+				return runtime.Null(), herr
+			}
+			continue
+		}
+	}
+}
+
+// resumeInlineChain finishes a chain of partially-inlined callees in
+// the interpreter after a side exit materialized their frames
+// (Section 5.3.1). Frames run innermost-out; each return value is
+// pushed onto the enclosing frame, which then resumes.
+func (v *VM) resumeInlineChain(chain []machine.InlineResume, from int) (runtime.Value, error) {
+	val, err := v.runInterp(chain[from].Frame)
+	for i := from + 1; i < len(chain); i++ {
+		if err != nil {
+			// No handlers inside inlined code (inlining policy):
+			// release the remaining frames and propagate.
+			releaseFrame(v.Env, chain[i].Frame)
+			continue
+		}
+		cf := chain[i].Frame
+		cf.Stack = append(cf.Stack, val)
+		cf.PC = chain[i-1].RetBCOff
+		val, err = v.runInterp(cf)
+	}
+	return val, err
+}
+
+// runInterp drives one frame in the interpreter, swallowing OSR
+// bounces (inline-resume frames never re-enter JITed code).
+func (v *VM) runInterp(fr *interp.Frame) (runtime.Value, error) {
+	val, err := v.Env.Run(fr)
+	for err == interp.ErrOSR {
+		val, err = v.Env.Run(fr)
+	}
+	return val, err
+}
+
+// unwind performs exception handling for a frame whose execution
+// threw at bytecode pc. Returns nil when a handler was entered (fr is
+// positioned to continue), or the error to propagate.
+func (v *VM) unwind(fr *interp.Frame, pc int, err error) error {
+	handler := fr.Fn.HandlerFor(pc)
+	if handler < 0 {
+		releaseFrame(v.Env, fr)
+		return err
+	}
+	obj := v.toThrown(err)
+	for _, val := range fr.Stack {
+		v.Heap.DecRef(val)
+	}
+	fr.Stack = fr.Stack[:0]
+	fr.SetPendingExc(obj)
+	fr.PC = handler
+	return nil
+}
+
+func (v *VM) toThrown(err error) *runtime.Object {
+	if ge, ok := err.(*runtime.Error); ok && ge.Obj != nil {
+		return ge.Obj
+	}
+	return v.Env.NewException("Exception", err.Error())
+}
+
+func releaseFrame(env *interp.Env, fr *interp.Frame) {
+	for _, val := range fr.Stack {
+		env.Heap.DecRef(val)
+	}
+	fr.Stack = fr.Stack[:0]
+	for i, val := range fr.Locals {
+		env.Heap.DecRef(val)
+		fr.Locals[i] = runtime.Uninit()
+	}
+	for _, it := range fr.Iters {
+		if it != nil {
+			env.Heap.DecRef(runtime.ArrV(it.Arr()))
+		}
+	}
+	fr.Iters = nil
+}
+
+// profilingReentryCost models the unchained dispatch of profiling
+// translations (they always bounce through the service request path).
+const profilingReentryCost = 30
+
+// bindDispatchCost models the translation-to-translation transfer
+// through a (smashed) service request when a translation ends in a
+// bind rather than an intra-region jump.
+const bindDispatchCost = 7

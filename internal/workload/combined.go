@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Combined builds one source unit containing every endpoint, with each
+// endpoint's request code wrapped in an endpoint_<name>() function —
+// the "monolithic code base" shape of the paper's evaluation: one
+// server process, one JIT, one code cache for the whole site.
+func Combined() (src string, endpoints []Endpoint) {
+	eps := Suite()
+	var sb strings.Builder
+	for _, ep := range eps {
+		funcs, mainBody := splitTopLevel(ep.Src)
+		sb.WriteString(funcs)
+		fmt.Fprintf(&sb, "\nfunction endpoint_%s() {\n%s\n return 0;\n}\n", ep.Name, mainBody)
+	}
+	return sb.String(), eps
+}
+
+// EndpointFunc returns the wrapper function name for an endpoint.
+func EndpointFunc(name string) string { return "endpoint_" + name }
+
+// splitTopLevel separates function/class/interface declarations from
+// top-level statements in an endpoint source. Declarations are
+// brace-balanced blocks introduced by their keywords at nesting depth
+// zero.
+func splitTopLevel(src string) (decls string, mainBody string) {
+	var d, m strings.Builder
+	i := 0
+	n := len(src)
+	for i < n {
+		j := skipSpace(src, i)
+		if j >= n {
+			break
+		}
+		if word, ok := keywordAt(src, j); ok &&
+			(word == "function" || word == "class" || word == "interface") {
+			end := declEnd(src, j)
+			d.WriteString(src[j:end])
+			d.WriteString("\n")
+			i = end
+			continue
+		}
+		// Statement: copy through the terminating ';' at depth 0 (or
+		// a balanced block for control structures).
+		end := stmtEnd(src, j)
+		m.WriteString(src[j:end])
+		m.WriteString("\n")
+		i = end
+	}
+	return d.String(), m.String()
+}
+
+func skipSpace(s string, i int) int {
+	for i < len(s) {
+		switch {
+		case s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r':
+			i++
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		default:
+			return i
+		}
+	}
+	return i
+}
+
+func keywordAt(s string, i int) (string, bool) {
+	j := i
+	for j < len(s) && (s[j] == '_' || s[j] >= 'a' && s[j] <= 'z' || s[j] >= 'A' && s[j] <= 'Z') {
+		j++
+	}
+	if j == i {
+		return "", false
+	}
+	return strings.ToLower(s[i:j]), true
+}
+
+// declEnd finds the end of a brace-delimited declaration.
+func declEnd(s string, i int) int {
+	depth := 0
+	started := false
+	for ; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+			started = true
+		case '}':
+			depth--
+			if started && depth == 0 {
+				return i + 1
+			}
+		case '"', '\'':
+			i = skipString(s, i)
+		}
+	}
+	return len(s)
+}
+
+// stmtEnd finds the end of one top-level statement (through `;` at
+// depth 0, or through a balanced brace block for for/if/foreach...).
+func stmtEnd(s string, i int) int {
+	depth := 0
+	sawBrace := false
+	for ; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+			sawBrace = true
+		case '}':
+			depth--
+			if sawBrace && depth == 0 {
+				// Control-structure body closed; the statement ends
+				// unless an else/elseif/catch clause follows.
+				k := skipSpace(s, i+1)
+				if word, ok := keywordAt(s, k); ok &&
+					(word == "else" || word == "elseif" || word == "catch") {
+					continue
+				}
+				return i + 1
+			}
+		case ';':
+			if depth == 0 {
+				return i + 1
+			}
+		case '"', '\'':
+			i = skipString(s, i)
+		}
+	}
+	return len(s)
+}
+
+func skipString(s string, i int) int {
+	q := s[i]
+	i++
+	for i < len(s) {
+		if s[i] == '\\' {
+			i += 2
+			continue
+		}
+		if s[i] == q {
+			return i
+		}
+		i++
+	}
+	return i
+}

@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// longTail generates the "long tail of warm functions" the paper
+// describes: a large volume of distinct, rarely-executed code (the
+// Facebook code base translates to hundreds of megabytes of machine
+// code, most of it lukewarm). The tail dominates the code-size
+// footprint while contributing little execution time, which is what
+// gives Figure 11 its diminishing-returns shape and Figure 9 its
+// long code-growth phase.
+func longTail(n int) Endpoint {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		switch i % 6 {
+		case 0:
+			fmt.Fprintf(&sb, `
+function tail_calc_%d($x) {
+  $a = $x * %d + 7;
+  $b = $a %% 13;
+  for ($i = 0; $i < 3; $i++) { $a = $a + $b * $i; }
+  return $a - %d;
+}
+`, i, i+2, i)
+		case 1:
+			fmt.Fprintf(&sb, `
+function tail_str_%d($s) {
+  $t = $s . "-%d";
+  if (strlen($t) > %d) { $t = substr($t, 0, %d); }
+  return strtoupper($t);
+}
+`, i, i, 4+i%7, 4+i%7)
+		case 2:
+			fmt.Fprintf(&sb, `
+function tail_arr_%d($n) {
+  $a = [];
+  for ($i = 0; $i < 4; $i++) { $a[] = $i * %d; }
+  $a[1] = $a[1] + $n;
+  return count($a) + $a[1];
+}
+`, i, i+1)
+		case 3:
+			fmt.Fprintf(&sb, `
+function tail_cond_%d($x) {
+  if ($x %% 2 == 0) { return $x / 2 + %d; }
+  elseif ($x %% 3 == 0) { return $x * 3 - %d; }
+  return $x + 1;
+}
+`, i, i, i)
+		case 4:
+			fmt.Fprintf(&sb, `
+function tail_map_%d($k) {
+  $m = ["a" => %d, "b" => %d, "c" => %d];
+  if (array_key_exists($k, $m)) { return $m[$k]; }
+  return -1;
+}
+`, i, i, i*2, i*3)
+		default:
+			fmt.Fprintf(&sb, `
+function tail_dbl_%d($x) {
+  $y = $x * 0.5 + %d.25;
+  $z = $y * $y;
+  return $z > 100.0 ? sqrt($z) : $z;
+}
+`, i, i%9)
+		}
+	}
+	// The request touches every tail function once, so the whole tail
+	// gets profiled (and JITed when the budget allows) during warmup.
+	sb.WriteString("\n$acc = 0;\n")
+	for i := 0; i < n; i++ {
+		switch i % 6 {
+		case 0:
+			fmt.Fprintf(&sb, "$acc += tail_calc_%d(%d);\n", i, i)
+		case 1:
+			fmt.Fprintf(&sb, "$acc += strlen(tail_str_%d(\"t%d\"));\n", i, i)
+		case 2:
+			fmt.Fprintf(&sb, "$acc += tail_arr_%d(%d);\n", i, i)
+		case 3:
+			fmt.Fprintf(&sb, "$acc += tail_cond_%d(%d);\n", i, i)
+		case 4:
+			fmt.Fprintf(&sb, "$acc += tail_map_%d(\"b\");\n", i)
+		default:
+			fmt.Fprintf(&sb, "$acc += (int)tail_dbl_%d(%d);\n", i, i)
+		}
+	}
+	sb.WriteString("echo (int)$acc, \"\\n\";\n")
+	return Endpoint{Name: "long_tail", Weight: 0.02, Src: sb.String()}
+}

@@ -1,0 +1,334 @@
+// Package workload provides the synthetic endpoint suite substituting
+// for the Facebook website in the paper's evaluation (see DESIGN.md).
+// Each endpoint is a PHP-subset program whose pseudo-main handles one
+// "HTTP request"; the suite mixes OO dispatch, packed/mixed arrays,
+// strings, polymorphic numeric loops, and error paths, with weights
+// standing in for production traffic shares.
+package workload
+
+// Endpoint is one synthetic production endpoint.
+type Endpoint struct {
+	Name string
+	// Weight is the endpoint's share of production traffic (the
+	// Perflab weighted average uses it).
+	Src    string
+	Weight float64
+}
+
+// Suite returns the endpoint corpus.
+func Suite() []Endpoint {
+	return []Endpoint{
+		{Name: "feed_ranking", Weight: 0.22, Src: feedRanking},
+		{Name: "profile_render", Weight: 0.18, Src: profileRender},
+		{Name: "search_filter", Weight: 0.14, Src: searchFilter},
+		{Name: "notifications", Weight: 0.12, Src: notifications},
+		{Name: "messages_format", Weight: 0.10, Src: messagesFormat},
+		{Name: "ads_scoring", Weight: 0.09, Src: adsScoring},
+		{Name: "privacy_checks", Weight: 0.07, Src: privacyChecks},
+		{Name: "api_serialize", Weight: 0.05, Src: apiSerialize},
+		{Name: "batch_stats", Weight: 0.03, Src: batchStats},
+		longTail(150),
+	}
+}
+
+// feedRanking: OO-heavy scoring over a list of polymorphic story
+// objects — exercises method dispatch, partial inlining (getters),
+// and packed arrays.
+const feedRanking = `
+class Story {
+  public $author = "";
+  public $age = 0;
+  public $likes = 0;
+  function __construct($a, $age, $likes) {
+    $this->author = $a; $this->age = $age; $this->likes = $likes;
+  }
+  function baseScore() { return $this->likes * 3; }
+  function decay() { return $this->age > 10 ? 2 : 1; }
+  function score() { return $this->baseScore() / $this->decay(); }
+}
+class PhotoStory extends Story {
+  function baseScore() { return $this->likes * 5; }
+}
+class VideoStory extends Story {
+  public $watch = 0;
+  function __construct($a, $age, $likes, $watch) {
+    $this->author = $a; $this->age = $age; $this->likes = $likes;
+    $this->watch = $watch;
+  }
+  function baseScore() { return $this->likes * 4 + $this->watch; }
+}
+
+function buildFeed($n) {
+  $feed = [];
+  for ($i = 0; $i < $n; $i++) {
+    $kind = $i % 4;
+    if ($kind == 0) {
+      $feed[] = new PhotoStory("u" . $i, $i % 20, $i * 7 % 50);
+    } elseif ($kind == 1) {
+      $feed[] = new VideoStory("u" . $i, $i % 15, $i * 3 % 40, $i % 30);
+    } else {
+      $feed[] = new Story("u" . $i, $i % 25, $i * 11 % 60);
+    }
+  }
+  return $feed;
+}
+
+function rankFeed($feed) {
+  $total = 0;
+  $best = 0;
+  foreach ($feed as $story) {
+    $s = $story->score();
+    $total += $s;
+    if ($s > $best) { $best = $s; }
+  }
+  return $total + $best;
+}
+
+$feed = buildFeed(60);
+echo rankFeed($feed), "\n";
+`
+
+// profileRender: string building and property access — exercises
+// Concat, interpolation, and prop fast paths.
+const profileRender = `
+class User {
+  public $name = "";
+  public $city = "";
+  public $friends = 0;
+  function __construct($n, $c, $f) { $this->name = $n; $this->city = $c; $this->friends = $f; }
+  function displayName() { return strtoupper(substr($this->name, 0, 1)) . substr($this->name, 1); }
+}
+
+function renderCard($u) {
+  $html = "<div class='card'>";
+  $html .= "<h1>" . $u->displayName() . "</h1>";
+  $html .= "<p>" . $u->city . " - " . $u->friends . " friends</p>";
+  $html .= "</div>";
+  return $html;
+}
+
+$out = "";
+for ($i = 0; $i < 40; $i++) {
+  $u = new User("user" . $i, "city" . ($i % 7), $i * 13 % 500);
+  $out .= renderCard($u);
+}
+echo strlen($out), "\n";
+`
+
+// searchFilter: mixed-array lookups and loops with int/string keys.
+const searchFilter = `
+function tokenize($q) {
+  $tokens = [];
+  $word = "";
+  $n = strlen($q);
+  for ($i = 0; $i < $n; $i++) {
+    $c = substr($q, $i, 1);
+    if ($c == " ") {
+      if ($word != "") { $tokens[] = $word; $word = ""; }
+    } else {
+      $word = $word . $c;
+    }
+  }
+  if ($word != "") { $tokens[] = $word; }
+  return $tokens;
+}
+
+function scoreDoc($doc, $tokens) {
+  $score = 0;
+  foreach ($tokens as $t) {
+    if (array_key_exists($t, $doc)) {
+      $score += $doc[$t];
+    }
+  }
+  return $score;
+}
+
+$docs = [];
+for ($i = 0; $i < 25; $i++) {
+  $docs[] = ["alpha" => $i % 5, "beta" => $i % 3, "gamma" => $i % 7, "delta" => 1];
+}
+$tokens = tokenize("alpha gamma delta omega");
+$total = 0;
+foreach ($docs as $d) {
+  $total += scoreDoc($d, $tokens);
+}
+echo $total, "\n";
+`
+
+// notifications: branchy business logic with exceptions on rare
+// paths.
+const notifications = `
+class NotifyError extends Exception {}
+
+function channelFor($kind) {
+  switch ($kind) {
+    case 1: return "push";
+    case 2: return "email";
+    case 3: return "sms";
+    case 4: return "inapp";
+    default: throw new NotifyError("unknown kind " . $kind);
+  }
+}
+
+function dispatchAll($n) {
+  $sent = ["push" => 0, "email" => 0, "sms" => 0, "inapp" => 0];
+  $errors = 0;
+  for ($i = 0; $i < $n; $i++) {
+    $kind = $i % 6 + 1;
+    try {
+      $ch = channelFor($kind);
+      $sent[$ch] = $sent[$ch] + 1;
+    } catch (NotifyError $e) {
+      $errors++;
+    }
+  }
+  return $sent["push"] * 1000 + $sent["email"] * 100 + $errors;
+}
+
+echo dispatchAll(90), "\n";
+`
+
+// messagesFormat: recursion + string work.
+const messagesFormat = `
+function indent($depth) {
+  return $depth <= 0 ? "" : "  " . indent($depth - 1);
+}
+
+function renderThread($depth, $width) {
+  if ($depth == 0) { return ""; }
+  $out = "";
+  for ($i = 0; $i < $width; $i++) {
+    $out .= indent($depth) . "msg\n";
+    $out .= renderThread($depth - 1, $width - 1);
+  }
+  return $out;
+}
+
+echo strlen(renderThread(4, 3)), "\n";
+`
+
+// adsScoring: double-precision numeric kernel with polymorphic
+// int/double inputs — the guard-relaxation showcase.
+const adsScoring = `
+function logistic($x) {
+  $e = 2.718281828;
+  $p = 1.0;
+  $xa = $x < 0 ? -$x : $x;
+  $n = (int)$xa;
+  for ($i = 0; $i < $n && $i < 8; $i++) { $p = $p * $e; }
+  if ($x < 0) { $p = 1.0 / $p; }
+  return $p / (1.0 + $p);
+}
+
+function scoreAd($features, $weights) {
+  $z = 0.0;
+  $n = count($features);
+  for ($i = 0; $i < $n; $i++) {
+    $z = $z + $features[$i] * $weights[$i];
+  }
+  return logistic($z);
+}
+
+$weights = [0.5, -1.25, 2.0, 0.75, -0.5];
+$sum = 0.0;
+for ($ad = 0; $ad < 30; $ad++) {
+  $features = [$ad % 3, $ad * 0.1, ($ad % 7) * 0.5, $ad % 2, 1];
+  $sum = $sum + scoreAd($features, $weights);
+}
+echo (int)($sum * 1000), "\n";
+`
+
+// privacyChecks: instanceof-heavy visitor over a class hierarchy.
+const privacyChecks = `
+interface Visible {}
+class Entity { public $owner = 0; function __construct($o) { $this->owner = $o; } }
+class PublicPost extends Entity implements Visible {}
+class FriendPost extends Entity {}
+class PrivatePost extends Entity {}
+
+function canSee($viewer, $post) {
+  if ($post instanceof PublicPost) { return true; }
+  if ($post instanceof FriendPost) { return $post->owner % 5 == $viewer % 5; }
+  return $post->owner == $viewer;
+}
+
+$posts = [];
+for ($i = 0; $i < 45; $i++) {
+  $k = $i % 3;
+  if ($k == 0) { $posts[] = new PublicPost($i); }
+  elseif ($k == 1) { $posts[] = new FriendPost($i); }
+  else { $posts[] = new PrivatePost($i); }
+}
+$visible = 0;
+foreach ($posts as $p) {
+  if (canSee(7, $p)) { $visible++; }
+}
+echo $visible, "\n";
+`
+
+// apiSerialize: array flattening into a wire string.
+const apiSerialize = `
+function serialize_value($v) {
+  if (is_array($v)) {
+    $parts = "";
+    foreach ($v as $k => $x) {
+      if ($parts != "") { $parts .= ","; }
+      $parts .= $k . ":" . serialize_value($x);
+    }
+    return "{" . $parts . "}";
+  }
+  if (is_string($v)) { return "'" . $v . "'"; }
+  if (is_bool($v)) { return $v ? "true" : "false"; }
+  return strval($v);
+}
+
+$payload = [
+  "id" => 42,
+  "tags" => ["a", "b", "c"],
+  "meta" => ["views" => 100, "flags" => [true, false]],
+  "score" => 9.5,
+];
+$out = "";
+for ($i = 0; $i < 12; $i++) {
+  $payload["id"] = $i;
+  $out .= serialize_value($payload);
+}
+echo strlen($out), "\n";
+`
+
+// batchStats: the paper's running example at scale — avgPositive
+// over int and double arrays (Figure 2).
+const batchStats = `
+function avgPositive($arr) {
+  $sum = 0;
+  $n = 0;
+  $size = count($arr);
+  for ($i = 0; $i < $size; $i++) {
+    $elem = $arr[$i];
+    if ($elem > 0) {
+      $sum = $sum + $elem;
+      $n++;
+    }
+  }
+  if ($n == 0) {
+    throw new Exception("no positive numbers");
+  }
+  return $sum / $n;
+}
+
+$ints = [];
+$dbls = [];
+for ($i = 0; $i < 50; $i++) {
+  $ints[] = $i % 7 - 2;
+  $dbls[] = ($i % 9) * 0.5 - 1.0;
+}
+$acc = 0;
+$acc += avgPositive($ints);
+$acc += avgPositive($dbls);
+try {
+  avgPositive([-1, -2, -3]);
+} catch (Exception $e) {
+  $acc += 1;
+}
+echo (int)($acc * 100), "\n";
+`

@@ -1,0 +1,69 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/workload"
+)
+
+// TestEndpointsRunStandalone compiles and runs every endpoint alone.
+func TestEndpointsRunStandalone(t *testing.T) {
+	for _, ep := range workload.Suite() {
+		out, err := core.Run(ep.Src, jit.Config{Mode: jit.ModeInterp})
+		if err != nil {
+			t.Errorf("%s: %v", ep.Name, err)
+			continue
+		}
+		if out == "" {
+			t.Errorf("%s: produced no output", ep.Name)
+		}
+	}
+}
+
+// TestCombinedMatchesStandalone checks that the combined unit's
+// endpoint wrappers produce the same output as the standalone
+// programs.
+func TestCombinedMatchesStandalone(t *testing.T) {
+	src, eps := workload.Combined()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatalf("combined compile: %v", err)
+	}
+	var sink strings.Builder
+	eng, err := core.NewEngine(unit, jit.Config{Mode: jit.ModeInterp}, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range eps {
+		want, err := core.Run(ep.Src, jit.Config{Mode: jit.ModeInterp})
+		if err != nil {
+			t.Fatalf("%s standalone: %v", ep.Name, err)
+		}
+		var out strings.Builder
+		eng.VM.SetOut(&out)
+		if _, err := eng.Call(workload.EndpointFunc(ep.Name)); err != nil {
+			t.Errorf("%s combined: %v", ep.Name, err)
+			continue
+		}
+		if out.String() != want {
+			t.Errorf("%s: combined %q != standalone %q", ep.Name, out.String(), want)
+		}
+	}
+}
+
+// TestWeightsSum checks the traffic shares are a distribution.
+func TestWeightsSum(t *testing.T) {
+	var sum float64
+	for _, ep := range workload.Suite() {
+		if ep.Weight <= 0 {
+			t.Errorf("%s: non-positive weight", ep.Name)
+		}
+		sum += ep.Weight
+	}
+	if sum < 0.95 || sum > 1.05 {
+		t.Errorf("weights sum to %v, want ~1.0", sum)
+	}
+}
