@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
 	flag.Parse()
 
@@ -51,6 +51,19 @@ func main() {
 			return err
 		}
 		server.Report(os.Stdout, res)
+		return nil
+	})
+	run("jumpstart", func(perflab.Config) error {
+		cfg := server.DefaultConfig()
+		if *quick {
+			cfg.Minutes = 20
+			cfg.CyclesPerMinute = 1_200_000
+		}
+		c, err := experiments.Jumpstart(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.ReportJumpstart(os.Stdout, c)
 		return nil
 	})
 	run("fig10", func(pc perflab.Config) error {

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	hhvm [-mode interp|tracelet|profiling|region] [-requests N]
-//	     [-stats] [-disas] file.php
+//	     [-stats] [-disas] [-prof-dump file] [-prof-load file] file.php
+//
+// -prof-load jumpstarts the engine from a profile snapshot before the
+// first request; -prof-dump persists the profile after the last one
+// (inspect the result with the profdump tool).
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hhbc"
 	"repro/internal/jit"
+	"repro/internal/jumpstart"
 )
 
 func main() {
@@ -25,6 +30,8 @@ func main() {
 	stats := flag.Bool("stats", false, "print JIT and heap statistics after the run")
 	disas := flag.Bool("disas", false, "print the compiled bytecode instead of running")
 	trigger := flag.Uint64("trigger", 0, "override the global retranslation trigger")
+	profDump := flag.String("prof-dump", "", "write a profile snapshot to this file after the last request")
+	profLoad := flag.String("prof-load", "", "jumpstart from a profile snapshot before the first request")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -70,6 +77,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *profLoad != "" {
+		snap, err := jumpstart.Load(*profLoad)
+		if err != nil {
+			fatal(fmt.Errorf("prof-load: %w", err))
+		}
+		jr := eng.LoadProfile(snap)
+		if *stats {
+			fmt.Fprintf(os.Stderr, "jumpstart: loaded %d funcs (%d translations); %d stale, %d unknown; optimized=%v\n",
+				jr.LoadedFuncs, jr.LoadedTrans, len(jr.StaleFuncs), len(jr.UnknownFuncs), jr.Optimized)
+			for _, name := range jr.StaleFuncs {
+				fmt.Fprintf(os.Stderr, "jumpstart: stale (bytecode changed): %s\n", name)
+			}
+		}
+	}
 	var total uint64
 	for i := 0; i < *requests; i++ {
 		c, err := eng.RunRequest(os.Stdout)
@@ -77,6 +98,11 @@ func main() {
 			fatal(err)
 		}
 		total = c // last request's cost (steady state)
+	}
+	if *profDump != "" {
+		if err := jumpstart.Save(*profDump, eng.ProfileSnapshot()); err != nil {
+			fatal(fmt.Errorf("prof-dump: %w", err))
+		}
 	}
 	if *stats {
 		st := eng.Stats()

@@ -15,6 +15,7 @@ import (
 	"repro/internal/hhbc"
 	"repro/internal/hphpc"
 	"repro/internal/jit"
+	"repro/internal/jumpstart"
 	"repro/internal/parser"
 	"repro/internal/runtime"
 	"repro/internal/vm"
@@ -121,6 +122,21 @@ func (e *Engine) Call(name string, args ...runtime.Value) (runtime.Value, error)
 
 // Cycles returns total simulated cycles so far.
 func (e *Engine) Cycles() uint64 { return e.VM.Meter.Cycles }
+
+// ProfileSnapshot captures the engine's profile state for
+// persistence, fleet aggregation, or jumpstarting another engine.
+func (e *Engine) ProfileSnapshot() *jumpstart.Snapshot {
+	return e.VM.JIT.SnapshotProfile()
+}
+
+// LoadProfile jumpstarts the engine from a persisted profile: in
+// region mode it mints profiling translations from the snapshot and
+// fires global retranslation immediately, skipping the live profiling
+// phase. Functions whose bytecode hash no longer matches the snapshot
+// fall back to normal profiling (see the returned result).
+func (e *Engine) LoadProfile(s *jumpstart.Snapshot) jit.JumpstartResult {
+	return e.VM.JIT.Jumpstart(s)
+}
 
 // Stats returns JIT statistics.
 func (e *Engine) Stats() jit.Stats { return e.VM.JIT.Stats }

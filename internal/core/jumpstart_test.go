@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+)
+
+const donorSrc = `
+function hot($n) { $s = 0; for ($i = 0; $i < $n; $i++) { $s += $i * 2; } return $s; }
+function fmt($x) { return "v=" . $x; }
+echo fmt(hot(40)), "\n";
+`
+
+// changedSrc edits hot()'s body (the multiplier), leaving fmt intact.
+const changedSrc = `
+function hot($n) { $s = 0; for ($i = 0; $i < $n; $i++) { $s += $i * 3; } return $s; }
+function fmt($x) { return "v=" . $x; }
+echo fmt(hot(40)), "\n";
+`
+
+func warmEngine(t *testing.T, src string) *core.Engine {
+	t.Helper()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 100
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := eng.RunRequest(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func freshEngine(t *testing.T, src string) *core.Engine {
+	t.Helper()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 100
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestJumpstartStaleFunctionFallback takes a snapshot on source S1 and
+// loads it into an engine built from S2, where one function's bytecode
+// changed. The changed function must be rejected as stale (it falls
+// back to live profiling); the untouched functions load; and the S2
+// engine's output reflects S2's semantics — the stale profile must not
+// leak S1 behavior.
+func TestJumpstartStaleFunctionFallback(t *testing.T) {
+	donor := warmEngine(t, donorSrc)
+	if donor.Stats().OptimizeRuns == 0 {
+		t.Fatal("donor never fired the global retranslation trigger")
+	}
+	snap := donor.ProfileSnapshot()
+	if len(snap.Funcs) == 0 {
+		t.Fatal("empty snapshot from warmed donor")
+	}
+
+	eng := freshEngine(t, changedSrc)
+	res := eng.LoadProfile(snap)
+
+	stale := strings.Join(res.StaleFuncs, ",")
+	if !strings.Contains(stale, "hot") {
+		t.Errorf("edited function hot must be stale, got stale=%q", stale)
+	}
+	if strings.Contains(stale, "fmt") {
+		t.Errorf("untouched function fmt must not be stale, got stale=%q", stale)
+	}
+	if res.LoadedFuncs == 0 || res.LoadedTrans == 0 {
+		t.Errorf("untouched functions should still load: %+v", res)
+	}
+	if !res.Optimized {
+		t.Error("partial staleness must not block the optimize pass")
+	}
+
+	// Correctness: the jumpstarted engine must produce S2's output.
+	var out strings.Builder
+	if _, err := eng.RunRequest(&out); err != nil {
+		t.Fatal(err)
+	}
+	want := "v=2340\n" // sum 0..39 of 3i
+	if out.String() != want {
+		t.Errorf("jumpstarted output %q, want %q", out.String(), want)
+	}
+
+	// The stale function still warms up the normal way afterwards.
+	for i := 0; i < 40; i++ {
+		if _, err := eng.RunRequest(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out2 strings.Builder
+	if _, err := eng.RunRequest(&out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != want {
+		t.Errorf("post-warmup output %q, want %q", out2.String(), want)
+	}
+}
+
+// TestJumpstartSameSourceLoadsEverything is the happy path: identical
+// source accepts every function and publishes optimized code without
+// live profiling.
+func TestJumpstartSameSourceLoadsEverything(t *testing.T) {
+	donor := warmEngine(t, donorSrc)
+	snap := donor.ProfileSnapshot()
+
+	eng := freshEngine(t, donorSrc)
+	res := eng.LoadProfile(snap)
+	if len(res.StaleFuncs) != 0 || len(res.UnknownFuncs) != 0 {
+		t.Errorf("identical source: stale=%v unknown=%v", res.StaleFuncs, res.UnknownFuncs)
+	}
+	if !res.Optimized {
+		t.Error("jumpstart did not publish optimized code")
+	}
+	if eng.Stats().OptimizedTranslations == 0 {
+		t.Error("no optimized translations after jumpstart")
+	}
+	var out strings.Builder
+	if _, err := eng.RunRequest(&out); err != nil {
+		t.Fatal(err)
+	}
+	if want := "v=1560\n"; out.String() != want { // sum 0..39 of 2i
+		t.Errorf("jumpstarted output %q, want %q", out.String(), want)
+	}
+}

@@ -75,6 +75,57 @@ func Fig9() (*server.Result, error) {
 	return server.Simulate(server.DefaultConfig())
 }
 
+// ---------- Jumpstart: warm-start restart vs cold restart ----------
+
+// JumpstartComparison holds the cold and warm restart timelines under
+// identical seed and configuration.
+type JumpstartComparison struct {
+	Cold, Warm *server.Result
+}
+
+// Jumpstart replays the Figure 9 restart twice with the same seed and
+// config: once cold (live profiling, global trigger) and once
+// jumpstarted from a profile snapshot taken on a warmed donor server.
+// The headline metric is time-to-90%-of-steady-RPS.
+func Jumpstart(cfg server.Config) (*JumpstartComparison, error) {
+	if cfg.Minutes == 0 {
+		cfg = server.DefaultConfig()
+	}
+	cold, err := server.Simulate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("jumpstart cold run: %w", err)
+	}
+	snap, err := server.WarmSnapshot(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("jumpstart donor: %w", err)
+	}
+	warmCfg := cfg
+	warmCfg.Jumpstart = snap
+	warm, err := server.Simulate(warmCfg)
+	if err != nil {
+		return nil, fmt.Errorf("jumpstart warm run: %w", err)
+	}
+	return &JumpstartComparison{Cold: cold, Warm: warm}, nil
+}
+
+// ReportJumpstart renders both timelines and the headline numbers.
+func ReportJumpstart(w io.Writer, c *JumpstartComparison) {
+	fmt.Fprintf(w, "Jumpstart — restart timeline, cold vs warm-started from a profile snapshot\n")
+	fmt.Fprintf(w, "\n--- cold restart (live profiling) ---\n")
+	server.Report(w, c.Cold)
+	fmt.Fprintf(w, "\n--- jumpstarted restart (snapshot warm start) ---\n")
+	server.Report(w, c.Warm)
+	fmt.Fprintf(w, "\ntime to 90%% steady RPS: cold=%s, jumpstart=%s\n",
+		fmtMinutes(c.Cold.MinutesTo90), fmtMinutes(c.Warm.MinutesTo90))
+}
+
+func fmtMinutes(m float64) string {
+	if m < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("minute %.0f", m)
+}
+
 // ---------- Figure 10: optimization impact ----------
 
 // Fig10Row is one bar of Figure 10.

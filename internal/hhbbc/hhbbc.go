@@ -6,6 +6,8 @@
 package hhbbc
 
 import (
+	"sort"
+
 	"repro/internal/hhbc"
 	"repro/internal/types"
 )
@@ -203,7 +205,14 @@ func insertAsserts(u *hhbc.Unit, f *hhbc.Func, starts []int, blockEnd func(int) 
 			continue
 		}
 		reads := localReads(f, starts[b], blockEnd(b))
+		// Deterministic emission order: bytecode must be reproducible
+		// across compiles (jumpstart keys snapshots by bytecode hash).
+		slots := make([]int, 0, len(reads))
 		for slot := range reads {
+			slots = append(slots, slot)
+		}
+		sort.Ints(slots)
+		for _, slot := range slots {
 			t := in[b].locals[slot]
 			if !informative(t) {
 				continue

@@ -1,0 +1,132 @@
+package hhbc
+
+// Bytecode hashing gives functions a stable identity across builds:
+// (FullName, BytecodeHash) keys persisted profile data, so a snapshot
+// taken against changed source is rejected per-function instead of
+// trusted blindly. Instruction immediates that index unit-level pools
+// (strings, ints, doubles, switch tables) are resolved to their
+// values before hashing, so the hash survives pool reordering caused
+// by edits elsewhere in the unit. A hash mismatch is always safe: the
+// function just falls back to live profiling.
+
+import "math"
+
+// FNV-1a 64-bit.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type fnv64 uint64
+
+func newFNV() fnv64 { return fnvOffset }
+
+func (h *fnv64) byte(b byte) {
+	*h = (*h ^ fnv64(b)) * fnvPrime
+}
+
+func (h *fnv64) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.byte(byte(v >> (8 * i)))
+	}
+}
+
+func (h *fnv64) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *fnv64) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.byte(s[i])
+	}
+}
+
+func (h *fnv64) b(v bool) {
+	if v {
+		h.byte(1)
+	} else {
+		h.byte(0)
+	}
+}
+
+// poolStr hashes a string-pool immediate by value when the index is
+// valid, by raw index otherwise (a malformed unit still hashes
+// deterministically).
+func (h *fnv64) poolStr(u *Unit, idx int32) {
+	if int(idx) >= 0 && int(idx) < len(u.Strings) {
+		h.str(u.Strings[idx])
+	} else {
+		h.i64(int64(idx))
+	}
+}
+
+// BytecodeHash returns the stable identity hash of f's code within u.
+// It covers the signature (params with hints and defaults, local
+// count), the instruction stream with pool immediates resolved, the
+// exception-handler table, and switch tables. It does not cover the
+// function name — identity is the (name, hash) pair.
+func (f *Func) BytecodeHash(u *Unit) uint64 {
+	h := newFNV()
+	h.b(f.IsMethod)
+	h.u64(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		h.str(p.TypeHint)
+		h.b(p.Nullable)
+		h.b(p.HasDefault)
+		if p.HasDefault {
+			h.u64(uint64(p.DefaultKind))
+			h.i64(p.DefaultInt)
+			h.u64(math.Float64bits(p.DefaultDbl))
+			h.str(p.DefaultStr)
+		}
+	}
+	h.u64(uint64(f.NumLocals))
+
+	h.u64(uint64(len(f.Instrs)))
+	for _, in := range f.Instrs {
+		h.byte(byte(in.Op))
+		switch in.Op {
+		case OpInt:
+			if int(in.A) >= 0 && int(in.A) < len(u.Ints) {
+				h.i64(u.Ints[in.A])
+			} else {
+				h.i64(int64(in.A))
+			}
+		case OpDouble:
+			if int(in.A) >= 0 && int(in.A) < len(u.Doubles) {
+				h.u64(math.Float64bits(u.Doubles[in.A]))
+			} else {
+				h.i64(int64(in.A))
+			}
+		case OpString, OpFatal, OpNewObjD, OpInstanceOfD, OpCGetPropD, OpSetPropD:
+			h.poolStr(u, in.A)
+			h.i64(int64(in.B))
+		case OpFCallD, OpFCallBuiltin, OpFCallObjMethodD:
+			h.i64(int64(in.A)) // arg count
+			h.poolStr(u, in.B)
+		case OpSwitch:
+			if int(in.A) >= 0 && int(in.A) < len(f.Switches) {
+				sw := f.Switches[in.A]
+				h.i64(sw.Base)
+				h.u64(uint64(len(sw.Targets)))
+				for _, t := range sw.Targets {
+					h.i64(int64(t))
+				}
+				h.i64(int64(sw.Default))
+			} else {
+				h.i64(int64(in.A))
+			}
+		default:
+			h.i64(int64(in.A))
+			h.i64(int64(in.B))
+			h.i64(int64(in.C))
+		}
+	}
+
+	h.u64(uint64(len(f.EHTable)))
+	for _, eh := range f.EHTable {
+		h.i64(int64(eh.Start))
+		h.i64(int64(eh.End))
+		h.i64(int64(eh.Handler))
+	}
+	return uint64(h)
+}

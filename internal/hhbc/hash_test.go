@@ -1,0 +1,81 @@
+package hhbc
+
+import "testing"
+
+// buildHashUnit makes a unit whose function references the string and
+// int pools, with pool layout controlled by prefill strings/ints added
+// before the function's own literals.
+func buildHashUnit(prefillStrs []string, prefillInts []int64) (*Unit, *Func) {
+	u := NewUnit()
+	for _, s := range prefillStrs {
+		u.InternString(s)
+	}
+	for _, v := range prefillInts {
+		u.InternInt(v)
+	}
+	f := &Func{Name: "f", NumLocals: 2}
+	f.Instrs = []Instr{
+		{Op: OpInt, A: u.InternInt(42)},
+		{Op: OpString, A: u.InternString("hello")},
+		{Op: OpFCallD, A: 1, B: u.InternString("callee")},
+		{Op: OpSetL, A: 0},
+		{Op: OpRetC},
+	}
+	u.AddFunc(f)
+	return u, f
+}
+
+// TestBytecodeHashPoolStable: the hash must not change when pool
+// indices shift because other code in the unit interned values first.
+func TestBytecodeHashPoolStable(t *testing.T) {
+	u1, f1 := buildHashUnit(nil, nil)
+	u2, f2 := buildHashUnit([]string{"zzz", "aaa", "unrelated"}, []int64{7, 9, 11})
+	if f1.Instrs[0].A == f2.Instrs[0].A {
+		t.Fatal("test setup failed to shift pool indices")
+	}
+	if h1, h2 := f1.BytecodeHash(u1), f2.BytecodeHash(u2); h1 != h2 {
+		t.Errorf("hash changed with pool reordering: %x vs %x", h1, h2)
+	}
+}
+
+func TestBytecodeHashSensitive(t *testing.T) {
+	u1, f1 := buildHashUnit(nil, nil)
+	base := f1.BytecodeHash(u1)
+
+	// Different literal value -> different hash.
+	u2, f2 := buildHashUnit(nil, nil)
+	f2.Instrs[0].A = u2.InternInt(43)
+	if f2.BytecodeHash(u2) == base {
+		t.Error("hash ignored a changed int literal")
+	}
+
+	// Different instruction -> different hash.
+	u3, f3 := buildHashUnit(nil, nil)
+	f3.Instrs[3].Op = OpPopL
+	if f3.BytecodeHash(u3) == base {
+		t.Error("hash ignored a changed opcode")
+	}
+
+	// Changed signature -> different hash.
+	u4, f4 := buildHashUnit(nil, nil)
+	f4.Params = append(f4.Params, Param{Name: "x"})
+	if f4.BytecodeHash(u4) == base {
+		t.Error("hash ignored an added parameter")
+	}
+}
+
+func TestBytecodeHashSwitchTables(t *testing.T) {
+	mk := func(def int) (*Unit, *Func) {
+		u := NewUnit()
+		f := &Func{Name: "s"}
+		f.Switches = []SwitchTable{{Base: 0, Targets: []int{2, 3}, Default: def}}
+		f.Instrs = []Instr{{Op: OpSwitch, A: 0}, {Op: OpRetC}}
+		u.AddFunc(f)
+		return u, f
+	}
+	u1, f1 := mk(4)
+	u2, f2 := mk(5)
+	if f1.BytecodeHash(u1) == f2.BytecodeHash(u2) {
+		t.Error("hash ignored switch-table contents")
+	}
+}

@@ -126,11 +126,18 @@ type Stats struct {
 
 	// Execution breakdown (simulated cycles and event counts).
 	MachineCycles uint64
-	InterpCycles  uint64
-	MachineEnters uint64
-	SideExits     uint64
-	BindRequests  uint64
-	InterpRuns    uint64
+	// MachineCycles split by the kind of translation entered: live
+	// tracelets, profiling translations, optimized regions. The
+	// live/optimized split is the paper's "time in live translations"
+	// steady-state metric.
+	MachineCyclesLive      uint64
+	MachineCyclesProfiling uint64
+	MachineCyclesOptimized uint64
+	InterpCycles           uint64
+	MachineEnters          uint64
+	SideExits              uint64
+	BindRequests           uint64
+	InterpRuns             uint64
 }
 
 // JIT owns the translation cache and compilation pipelines.

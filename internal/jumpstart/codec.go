@@ -1,0 +1,292 @@
+package jumpstart
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Wire layout:
+//
+//	"HHJS"            4-byte magic
+//	version           1 byte (FormatVersion)
+//	crc32(payload)    4 bytes little-endian, IEEE polynomial
+//	payload           varint-encoded snapshot body
+//
+// The version byte is part of the header, not the payload, so an
+// incompatible future format is rejected before any payload parsing.
+// The checksum covers the whole payload; truncated or corrupted files
+// fail loudly instead of seeding a server with garbage counts.
+
+const snapMagic = "HHJS"
+
+// FormatVersion is the current snapshot wire version. Bump it on any
+// incompatible change to the payload layout; decoders reject other
+// versions (snapshot files are cheap to regenerate — there is no
+// cross-version migration).
+const FormatVersion = 1
+
+// ErrChecksum reports payload corruption.
+var ErrChecksum = errors.New("jumpstart: snapshot checksum mismatch")
+
+// ErrVersion reports an unsupported format version.
+var ErrVersion = errors.New("jumpstart: unsupported snapshot version")
+
+// ErrMagic reports a file that is not a snapshot at all.
+var ErrMagic = errors.New("jumpstart: bad snapshot magic")
+
+type encoder struct{ buf bytes.Buffer }
+
+func (e *encoder) u64(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *encoder) i64(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	e.buf.Write(tmp[:n])
+}
+
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *encoder) b(v bool) {
+	if v {
+		e.buf.WriteByte(1)
+	} else {
+		e.buf.WriteByte(0)
+	}
+}
+
+func (e *encoder) typeRepr(t TypeRepr) {
+	e.u64(uint64(t.Kind))
+	e.u64(uint64(t.ArrKind))
+	e.str(t.Class)
+	e.b(t.Exact)
+}
+
+// Encode serializes s (canonicalized first, so structurally equal
+// snapshots produce byte-identical files).
+func Encode(s *Snapshot) []byte {
+	s = Canonicalize(s)
+	var e encoder
+	e.u64(uint64(len(s.Funcs)))
+	for i := range s.Funcs {
+		fp := &s.Funcs[i]
+		e.str(fp.Name)
+		e.u64(fp.Hash)
+		e.u64(uint64(len(fp.Trans)))
+		for _, tr := range fp.Trans {
+			e.u64(uint64(tr.PC))
+			e.u64(uint64(tr.EntryDepth))
+			e.u64(uint64(len(tr.EntryStackTypes)))
+			for _, t := range tr.EntryStackTypes {
+				e.typeRepr(t)
+			}
+			e.u64(uint64(len(tr.Guards)))
+			for _, g := range tr.Guards {
+				e.b(g.Stack)
+				e.u64(uint64(g.Slot))
+				e.typeRepr(g.Type)
+			}
+			e.u64(tr.Count)
+		}
+		e.u64(uint64(len(fp.Arcs)))
+		for _, a := range fp.Arcs {
+			e.u64(uint64(a.From))
+			e.u64(uint64(a.To))
+			e.u64(a.Weight)
+		}
+		e.u64(uint64(len(fp.CallTargets)))
+		for _, ct := range fp.CallTargets {
+			e.u64(uint64(ct.PC))
+			e.str(ct.Class)
+			e.u64(ct.Count)
+		}
+	}
+	e.u64(uint64(len(s.CallGraph)))
+	for _, ce := range s.CallGraph {
+		e.u64(uint64(ce.Caller))
+		e.u64(uint64(ce.Callee))
+		e.u64(ce.Weight)
+	}
+
+	payload := e.buf.Bytes()
+	out := make([]byte, 0, len(snapMagic)+5+len(payload))
+	out = append(out, snapMagic...)
+	out = append(out, FormatVersion)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	out = append(out, crc[:]...)
+	out = append(out, payload...)
+	return out
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = errors.New("jumpstart: " + msg)
+	}
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a length prefix, rejecting values that could not
+// possibly fit in the remaining payload (defends against decoding
+// garbage into a huge allocation).
+func (d *decoder) count() int {
+	v := d.u64()
+	if d.err == nil && v > uint64(len(d.data)-d.pos)+1 {
+		d.fail("implausible length prefix")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u64())
+	if d.err != nil {
+		return ""
+	}
+	if d.pos+n > len(d.data) || n < 0 {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decoder) b() bool {
+	if d.err != nil || d.pos >= len(d.data) {
+		d.fail("truncated bool")
+		return false
+	}
+	v := d.data[d.pos] != 0
+	d.pos++
+	return v
+}
+
+func (d *decoder) typeRepr() TypeRepr {
+	return TypeRepr{
+		Kind:    uint16(d.u64()),
+		ArrKind: uint8(d.u64()),
+		Class:   d.str(),
+		Exact:   d.b(),
+	}
+}
+
+// Decode parses and validates a serialized snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < len(snapMagic)+5 {
+		return nil, fmt.Errorf("%w: file too short (%d bytes)", ErrMagic, len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, ErrMagic
+	}
+	if v := data[len(snapMagic)]; v != FormatVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, v, FormatVersion)
+	}
+	want := binary.LittleEndian.Uint32(data[len(snapMagic)+1:])
+	payload := data[len(snapMagic)+5:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, ErrChecksum
+	}
+
+	d := &decoder{data: payload}
+	s := &Snapshot{}
+	nf := d.count()
+	for i := 0; i < nf && d.err == nil; i++ {
+		fp := FuncProfile{Name: d.str(), Hash: d.u64()}
+		nt := d.count()
+		for j := 0; j < nt && d.err == nil; j++ {
+			tr := TransProfile{PC: int(d.u64()), EntryDepth: int(d.u64())}
+			for n := d.count(); n > 0 && d.err == nil; n-- {
+				tr.EntryStackTypes = append(tr.EntryStackTypes, d.typeRepr())
+			}
+			for n := d.count(); n > 0 && d.err == nil; n-- {
+				tr.Guards = append(tr.Guards, GuardRepr{
+					Stack: d.b(), Slot: int(d.u64()), Type: d.typeRepr(),
+				})
+			}
+			tr.Count = d.u64()
+			fp.Trans = append(fp.Trans, tr)
+		}
+		for n := d.count(); n > 0 && d.err == nil; n-- {
+			a := ArcWeight{From: int(d.u64()), To: int(d.u64()), Weight: d.u64()}
+			fp.Arcs = append(fp.Arcs, a)
+		}
+		for n := d.count(); n > 0 && d.err == nil; n-- {
+			ct := CallTarget{PC: int(d.u64()), Class: d.str(), Count: d.u64()}
+			fp.CallTargets = append(fp.CallTargets, ct)
+		}
+		s.Funcs = append(s.Funcs, fp)
+	}
+	for n := d.count(); n > 0 && d.err == nil; n-- {
+		ce := CallEdge{Caller: int(d.u64()), Callee: int(d.u64()), Weight: d.u64()}
+		s.CallGraph = append(s.CallGraph, ce)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.pos != len(payload) {
+		return nil, errors.New("jumpstart: trailing bytes after snapshot payload")
+	}
+	// Arc and call-graph indices must be in range; a checksum-valid
+	// but index-invalid snapshot is still rejected.
+	for i := range s.Funcs {
+		for _, a := range s.Funcs[i].Arcs {
+			if a.From < 0 || a.From >= len(s.Funcs[i].Trans) ||
+				a.To < 0 || a.To >= len(s.Funcs[i].Trans) {
+				return nil, fmt.Errorf("jumpstart: arc index out of range in %s", s.Funcs[i].Name)
+			}
+		}
+	}
+	for _, ce := range s.CallGraph {
+		if ce.Caller < 0 || ce.Caller >= len(s.Funcs) || ce.Callee < 0 || ce.Callee >= len(s.Funcs) {
+			return nil, errors.New("jumpstart: call-graph index out of range")
+		}
+	}
+	return s, nil
+}
+
+// Save writes a snapshot file atomically (write temp, rename).
+func Save(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, Encode(s), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads and validates a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}

@@ -1,0 +1,200 @@
+package jumpstart
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Funcs: []FuncProfile{
+			{
+				Name: "main", Hash: 0xdeadbeefcafe,
+				Trans: []TransProfile{
+					{
+						PC: 0, EntryDepth: 0,
+						Guards: []GuardRepr{
+							{Stack: false, Slot: 0, Type: ReprOf(types.TInt)},
+							{Stack: false, Slot: 1, Type: ReprOf(types.ObjOfClass("Foo", true))},
+						},
+						Count: 1200,
+					},
+					{
+						PC: 9, EntryDepth: 1,
+						EntryStackTypes: []TypeRepr{ReprOf(types.ArrOfKind(types.ArrayPacked))},
+						Count:           880,
+					},
+				},
+				Arcs:        []ArcWeight{{From: 0, To: 1, Weight: 870}},
+				CallTargets: []CallTarget{{PC: 4, Class: "Foo", Count: 990}},
+			},
+			{
+				Name: "helper", Hash: 0x1234,
+				Trans: []TransProfile{{PC: 0, Count: 42}},
+			},
+		},
+		CallGraph: []CallEdge{{Caller: 0, Callee: 1, Weight: 990}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data := Encode(s)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, Canonicalize(s)) {
+		t.Errorf("round trip mismatch:\n got  %+v\n want %+v", got, Canonicalize(s))
+	}
+	// Encoding is deterministic.
+	if string(Encode(got)) != string(data) {
+		t.Error("re-encoding a decoded snapshot changed the bytes")
+	}
+}
+
+func TestTypeReprRoundTrip(t *testing.T) {
+	for _, ty := range []types.Type{
+		types.TInt, types.TCell, types.TUninit, types.TBottom,
+		types.ArrOfKind(types.ArrayMixed), types.ObjOfClass("C", false),
+		types.ObjOfClass("D", true), types.TNum, types.TUncounted,
+	} {
+		back := ReprOf(ty).Type()
+		if back.String() != ty.String() {
+			t.Errorf("type %s round-tripped to %s", ty, back)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := Encode(sampleSnapshot())
+
+	// Truncation at every prefix must error, never panic or succeed.
+	for n := 0; n < len(data)-1; n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+	}
+
+	// Any single-byte payload flip must fail the checksum.
+	for i := 9; i < len(data); i += 7 {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("bit flip at %d went undetected", i)
+		}
+	}
+
+	// Wrong magic, wrong version.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = FormatVersion + 1
+	if _, err := Decode(bad); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.hhjs")
+	s := sampleSnapshot()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrans() != s.NumTrans() || got.TotalCount() != s.TotalCount() {
+		t.Errorf("loaded %d trans / %d count, want %d / %d",
+			got.NumTrans(), got.TotalCount(), s.NumTrans(), s.TotalCount())
+	}
+}
+
+// randomSnapshot generates a snapshot drawing function identities and
+// translation shapes from small pools so merges actually collide.
+func randomSnapshot(r *rand.Rand) *Snapshot {
+	names := []string{"a", "b", "c", "d"}
+	s := &Snapshot{}
+	nf := 1 + r.Intn(len(names))
+	perm := r.Perm(len(names))[:nf]
+	for _, ni := range perm {
+		fp := FuncProfile{Name: names[ni], Hash: uint64(1 + r.Intn(2))}
+		nt := 1 + r.Intn(3)
+		for j := 0; j < nt; j++ {
+			tr := TransProfile{PC: r.Intn(4) * 3, EntryDepth: 0, Count: uint64(r.Intn(1000))}
+			if r.Intn(2) == 0 {
+				tr.Guards = append(tr.Guards, GuardRepr{Slot: r.Intn(2), Type: ReprOf(types.TInt)})
+			}
+			fp.Trans = append(fp.Trans, tr)
+		}
+		for j := 0; j < r.Intn(3); j++ {
+			fp.Arcs = append(fp.Arcs, ArcWeight{
+				From: r.Intn(len(fp.Trans)), To: r.Intn(len(fp.Trans)),
+				Weight: uint64(1 + r.Intn(100)),
+			})
+		}
+		if r.Intn(2) == 0 {
+			fp.CallTargets = append(fp.CallTargets, CallTarget{
+				PC: r.Intn(5), Class: names[r.Intn(len(names))], Count: uint64(1 + r.Intn(50)),
+			})
+		}
+		s.Funcs = append(s.Funcs, fp)
+	}
+	for j := 0; j < r.Intn(3); j++ {
+		s.CallGraph = append(s.CallGraph, CallEdge{
+			Caller: r.Intn(len(s.Funcs)), Callee: r.Intn(len(s.Funcs)),
+			Weight: uint64(1 + r.Intn(100)),
+		})
+	}
+	return s
+}
+
+// TestMergeCommutative is the merge-commutativity property test:
+// Merge(a, b) must deeply equal Merge(b, a) at equal weights, across
+// many random snapshot pairs.
+func TestMergeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, b := randomSnapshot(r), randomSnapshot(r)
+		ab := Merge([]*Snapshot{a, b}, nil)
+		ba := Merge([]*Snapshot{b, a}, nil)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\n a+b %+v\n b+a %+v", trial, ab, ba)
+		}
+		// And associative with a third.
+		c := randomSnapshot(r)
+		abc1 := Merge([]*Snapshot{ab, c}, nil)
+		abc2 := Merge([]*Snapshot{a, Merge([]*Snapshot{b, c}, nil)}, nil)
+		if !reflect.DeepEqual(abc1, abc2) {
+			t.Fatalf("trial %d: merge not associative", trial)
+		}
+	}
+}
+
+func TestMergeWeightsAndScale(t *testing.T) {
+	s := sampleSnapshot()
+	half := Scale(s, 0.5)
+	if got, want := half.TotalCount(), (uint64(600) + 440 + 21); got != want {
+		t.Errorf("scaled total = %d, want %d", got, want)
+	}
+	// Merging a snapshot with itself at weight 1 doubles every count.
+	double := Merge([]*Snapshot{s, s}, nil)
+	if got, want := double.TotalCount(), 2*s.TotalCount(); got != want {
+		t.Errorf("self-merge total = %d, want %d", got, want)
+	}
+	// Identity survives: a function with a different hash is distinct.
+	changed := Canonicalize(s)
+	changed.Funcs[0].Hash++
+	m := Merge([]*Snapshot{s, changed}, nil)
+	if len(m.Funcs) != len(s.Funcs)+1 {
+		t.Errorf("hash-changed function merged into its old identity: %d funcs", len(m.Funcs))
+	}
+}

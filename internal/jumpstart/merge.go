@@ -1,0 +1,220 @@
+package jumpstart
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fleet aggregation: snapshots from different VM instances (or from
+// the same server at different times) are merged by stable function
+// identity, never by raw TransID — each VM mints its own translation
+// IDs, so only (name, hash, pc, entry shape, guards) identifies "the
+// same" profiling translation across instances. Weights implement
+// decay: merging yesterday's snapshot at weight 0.5 with today's at
+// 1.0 keeps the profile fresh while smoothing over traffic spikes.
+
+// transKey canonically identifies a translation within a function.
+func transKey(tr *TransProfile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d", tr.PC, tr.EntryDepth)
+	for _, t := range tr.EntryStackTypes {
+		fmt.Fprintf(&sb, "|e%d,%d,%s,%v", t.Kind, t.ArrKind, t.Class, t.Exact)
+	}
+	for _, g := range tr.Guards {
+		fmt.Fprintf(&sb, "|g%v,%d,%d,%d,%s,%v",
+			g.Stack, g.Slot, g.Type.Kind, g.Type.ArrKind, g.Type.Class, g.Type.Exact)
+	}
+	return sb.String()
+}
+
+func scale(v uint64, w float64) uint64 {
+	if w == 1 {
+		return v
+	}
+	if w <= 0 {
+		return 0
+	}
+	return uint64(float64(v)*w + 0.5)
+}
+
+// Canonicalize returns a copy of s with functions sorted by identity,
+// translations by key, and arcs/targets/edges deduplicated and
+// sorted. Structurally equal profiles canonicalize to deeply equal
+// snapshots regardless of input order — this is what makes Merge
+// commutative and Encode deterministic.
+func Canonicalize(s *Snapshot) *Snapshot {
+	return Merge([]*Snapshot{s}, nil)
+}
+
+// Scale returns a copy of s with every count multiplied by w (decay).
+func Scale(s *Snapshot, w float64) *Snapshot {
+	return Merge([]*Snapshot{s}, []float64{w})
+}
+
+// Merge combines snapshots by function identity. weights[i] scales
+// snaps[i]'s counts (nil = all 1.0). Functions sharing an identity
+// have their translations matched by (pc, entry shape, guards) and
+// their counts summed; arcs, call-target histograms, and call-graph
+// edges are summed the same way. The result is canonical.
+func Merge(snaps []*Snapshot, weights []float64) *Snapshot {
+	type funcAcc struct {
+		id       identity
+		trans    map[string]*TransProfile
+		arcs     map[[2]string]uint64 // keyed by endpoint trans keys
+		targets  map[string]uint64    // "pc|class"
+		outEdges map[identity]uint64  // callee -> weight
+	}
+	accs := map[identity]*funcAcc{}
+	get := func(id identity) *funcAcc {
+		a := accs[id]
+		if a == nil {
+			a = &funcAcc{
+				id:       id,
+				trans:    map[string]*TransProfile{},
+				arcs:     map[[2]string]uint64{},
+				targets:  map[string]uint64{},
+				outEdges: map[identity]uint64{},
+			}
+			accs[id] = a
+		}
+		return a
+	}
+
+	for si, s := range snaps {
+		if s == nil {
+			continue
+		}
+		w := 1.0
+		if weights != nil && si < len(weights) {
+			w = weights[si]
+		}
+		for fi := range s.Funcs {
+			fp := &s.Funcs[fi]
+			acc := get(identity{fp.Name, fp.Hash})
+			keys := make([]string, len(fp.Trans))
+			for ti := range fp.Trans {
+				tr := &fp.Trans[ti]
+				k := transKey(tr)
+				keys[ti] = k
+				dst := acc.trans[k]
+				if dst == nil {
+					cp := *tr
+					cp.EntryStackTypes = append([]TypeRepr(nil), tr.EntryStackTypes...)
+					cp.Guards = append([]GuardRepr(nil), tr.Guards...)
+					cp.Count = 0
+					acc.trans[k] = &cp
+					dst = &cp
+				}
+				dst.Count += scale(tr.Count, w)
+			}
+			for _, a := range fp.Arcs {
+				if a.From < 0 || a.From >= len(keys) || a.To < 0 || a.To >= len(keys) {
+					continue
+				}
+				if n := scale(a.Weight, w); n > 0 {
+					acc.arcs[[2]string{keys[a.From], keys[a.To]}] += n
+				}
+			}
+			for _, ct := range fp.CallTargets {
+				if n := scale(ct.Count, w); n > 0 {
+					acc.targets[fmt.Sprintf("%d|%s", ct.PC, ct.Class)] += n
+				}
+			}
+		}
+		for _, ce := range s.CallGraph {
+			if ce.Caller < 0 || ce.Caller >= len(s.Funcs) || ce.Callee < 0 || ce.Callee >= len(s.Funcs) {
+				continue
+			}
+			caller := identity{s.Funcs[ce.Caller].Name, s.Funcs[ce.Caller].Hash}
+			callee := identity{s.Funcs[ce.Callee].Name, s.Funcs[ce.Callee].Hash}
+			if n := scale(ce.Weight, w); n > 0 {
+				get(caller).outEdges[callee] += n
+				get(callee) // ensure the callee exists in the output
+			}
+		}
+	}
+
+	// Emit in canonical order.
+	ids := make([]identity, 0, len(accs))
+	for id := range accs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].name != ids[j].name {
+			return ids[i].name < ids[j].name
+		}
+		return ids[i].hash < ids[j].hash
+	})
+	funcIdx := make(map[identity]int, len(ids))
+	for i, id := range ids {
+		funcIdx[id] = i
+	}
+
+	out := &Snapshot{}
+	for _, id := range ids {
+		acc := accs[id]
+		fp := FuncProfile{Name: id.name, Hash: id.hash}
+
+		tks := make([]string, 0, len(acc.trans))
+		for k := range acc.trans {
+			tks = append(tks, k)
+		}
+		sort.Strings(tks)
+		tidx := make(map[string]int, len(tks))
+		for i, k := range tks {
+			tidx[k] = i
+			fp.Trans = append(fp.Trans, *acc.trans[k])
+		}
+
+		for ak, n := range acc.arcs {
+			from, okf := tidx[ak[0]]
+			to, okt := tidx[ak[1]]
+			if okf && okt {
+				fp.Arcs = append(fp.Arcs, ArcWeight{From: from, To: to, Weight: n})
+			}
+		}
+		sort.Slice(fp.Arcs, func(i, j int) bool {
+			if fp.Arcs[i].From != fp.Arcs[j].From {
+				return fp.Arcs[i].From < fp.Arcs[j].From
+			}
+			return fp.Arcs[i].To < fp.Arcs[j].To
+		})
+
+		for tk, n := range acc.targets {
+			var pc int
+			var cls string
+			if i := strings.IndexByte(tk, '|'); i >= 0 {
+				fmt.Sscanf(tk[:i], "%d", &pc)
+				cls = tk[i+1:]
+			}
+			fp.CallTargets = append(fp.CallTargets, CallTarget{PC: pc, Class: cls, Count: n})
+		}
+		sort.Slice(fp.CallTargets, func(i, j int) bool {
+			if fp.CallTargets[i].PC != fp.CallTargets[j].PC {
+				return fp.CallTargets[i].PC < fp.CallTargets[j].PC
+			}
+			return fp.CallTargets[i].Class < fp.CallTargets[j].Class
+		})
+
+		out.Funcs = append(out.Funcs, fp)
+	}
+	for _, id := range ids {
+		for callee, n := range accs[id].outEdges {
+			ci, ok := funcIdx[callee]
+			if !ok {
+				continue
+			}
+			out.CallGraph = append(out.CallGraph, CallEdge{
+				Caller: funcIdx[id], Callee: ci, Weight: n,
+			})
+		}
+	}
+	sort.Slice(out.CallGraph, func(i, j int) bool {
+		if out.CallGraph[i].Caller != out.CallGraph[j].Caller {
+			return out.CallGraph[i].Caller < out.CallGraph[j].Caller
+		}
+		return out.CallGraph[i].Callee < out.CallGraph[j].Callee
+	})
+	return out
+}

@@ -1,25 +1,44 @@
 // Package profile holds the data gathered by profiling translations:
 // per-block execution counters, observed control-flow arcs, and
 // call-target histograms. The profile-guided region selector and the
-// optimizing JIT consume it.
+// optimizing JIT consume it; the jumpstart subsystem persists it
+// across server restarts.
 package profile
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // TransID identifies one profiling translation (a type-specialized
 // basic block).
 type TransID int
 
+// The counter slab is a list of fixed-size chunks. Chunks never move
+// once allocated, so Inc can run lock-free: it loads the chunk list
+// pointer atomically and does an atomic add into the chunk. Only slab
+// growth (NewCounter) takes the mutex; the chunk list is copied and
+// republished there, never mutated in place.
+const (
+	chunkShift = 10
+	chunkSize  = 1 << chunkShift
+)
+
+type chunk [chunkSize]uint64
+
 // Counters is the instrumentation store. The profiling JIT increments
 // a unique counter after each translation's type guards, so counter
 // values double as both basic-block frequencies and input-type
-// distributions (Section 4.1 of the paper).
+// distributions (Section 4.1 of the paper). Inc is the hottest
+// instrumentation path and is a single atomic add; everything else
+// (arcs, histograms, call graph) is recorded at block boundaries and
+// stays under the mutex.
 type Counters struct {
-	mu     sync.Mutex
-	counts []uint64
+	mu   sync.Mutex
+	slab atomic.Pointer[[]*chunk]
+	n    int // counters allocated (guarded by mu)
+
 	// arcs records observed transfers between profiling translations.
 	arcs map[Arc]uint64
 	// callTargets histograms callee classes at method-call sites:
@@ -44,44 +63,80 @@ type CallArc struct{ Caller, Callee int }
 
 // NewCounters returns an empty store.
 func NewCounters() *Counters {
-	return &Counters{
+	c := &Counters{
 		arcs:        map[Arc]uint64{},
 		callTargets: map[CallSite]map[string]uint64{},
 		funcCalls:   map[CallArc]uint64{},
 	}
+	empty := []*chunk{}
+	c.slab.Store(&empty)
+	return c
 }
 
 // NewCounter allocates a fresh counter and returns its ID.
 func (c *Counters) NewCounter() TransID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.counts = append(c.counts, 0)
-	return TransID(len(c.counts) - 1)
+	id := TransID(c.n)
+	need := (c.n >> chunkShift) + 1
+	if cur := *c.slab.Load(); len(cur) < need {
+		grown := make([]*chunk, need)
+		copy(grown, cur)
+		for i := len(cur); i < need; i++ {
+			grown[i] = new(chunk)
+		}
+		c.slab.Store(&grown)
+	}
+	c.n++
+	return id
 }
 
-// Inc bumps a counter (called from JITed profiling code; single
-// request thread per VM, so a plain add under the lock-free path
-// would do, but the store is shared across warmup threads).
-func (c *Counters) Inc(id TransID) {
+// NumCounters returns how many counters have been allocated.
+func (c *Counters) NumCounters() int {
 	c.mu.Lock()
-	c.counts[id]++
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Inc bumps a counter. Called from JITed profiling code on every
+// translation entry, concurrently across warmup threads, so it must
+// not contend on the mutex: one atomic add into the pre-sized slab.
+func (c *Counters) Inc(id TransID) {
+	slab := *c.slab.Load()
+	atomic.AddUint64(&slab[id>>chunkShift][id&(chunkSize-1)], 1)
+}
+
+// Add bumps a counter by n (bulk restore path: jumpstart, merging).
+func (c *Counters) Add(id TransID, n uint64) {
+	if n == 0 {
+		return
+	}
+	slab := *c.slab.Load()
+	if int(id>>chunkShift) >= len(slab) {
+		return
+	}
+	atomic.AddUint64(&slab[id>>chunkShift][id&(chunkSize-1)], n)
 }
 
 // Count reads a counter.
 func (c *Counters) Count(id TransID) uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if int(id) < len(c.counts) {
-		return c.counts[id]
+	slab := *c.slab.Load()
+	if id < 0 || int(id>>chunkShift) >= len(slab) {
+		return 0
 	}
-	return 0
+	return atomic.LoadUint64(&slab[id>>chunkShift][id&(chunkSize-1)])
 }
 
 // RecordArc notes a from->to transfer between profiling translations.
-func (c *Counters) RecordArc(from, to TransID) {
+func (c *Counters) RecordArc(from, to TransID) { c.AddArc(from, to, 1) }
+
+// AddArc bumps an arc weight by n.
+func (c *Counters) AddArc(from, to TransID, n uint64) {
+	if n == 0 {
+		return
+	}
 	c.mu.Lock()
-	c.arcs[Arc{from, to}]++
+	c.arcs[Arc{from, to}] += n
 	c.mu.Unlock()
 }
 
@@ -107,13 +162,21 @@ func (c *Counters) Arcs(in map[TransID]bool) map[Arc]uint64 {
 
 // RecordCallTarget histograms the receiver class at a method call.
 func (c *Counters) RecordCallTarget(site CallSite, class string) {
+	c.AddCallTarget(site, class, 1)
+}
+
+// AddCallTarget bumps a call-site histogram entry by n.
+func (c *Counters) AddCallTarget(site CallSite, class string, n uint64) {
+	if n == 0 {
+		return
+	}
 	c.mu.Lock()
 	m := c.callTargets[site]
 	if m == nil {
 		m = map[string]uint64{}
 		c.callTargets[site] = m
 	}
-	m[class]++
+	m[class] += n
 	c.mu.Unlock()
 }
 
@@ -153,9 +216,15 @@ func (c *Counters) CallTargets(site CallSite) *TargetProfile {
 }
 
 // RecordCall notes a dynamic caller->callee call.
-func (c *Counters) RecordCall(caller, callee int) {
+func (c *Counters) RecordCall(caller, callee int) { c.AddCall(caller, callee, 1) }
+
+// AddCall bumps a call-graph edge by n.
+func (c *Counters) AddCall(caller, callee int, n uint64) {
+	if n == 0 {
+		return
+	}
 	c.mu.Lock()
-	c.funcCalls[CallArc{caller, callee}]++
+	c.funcCalls[CallArc{caller, callee}] += n
 	c.mu.Unlock()
 }
 
@@ -168,4 +237,99 @@ func (c *Counters) CallGraph() map[CallArc]uint64 {
 		out[k] = v
 	}
 	return out
+}
+
+// Data is a plain-value copy of a Counters store: the unit of profile
+// persistence and fleet aggregation. TransIDs in Data refer to the
+// translation space of the VM the snapshot was taken from; merging
+// Data from different VMs by raw TransID is only meaningful when they
+// minted translations identically (the jumpstart package merges by
+// stable function identity instead).
+type Data struct {
+	Counts      []uint64
+	Arcs        map[Arc]uint64
+	CallTargets map[CallSite]map[string]uint64
+	FuncCalls   map[CallArc]uint64
+}
+
+// Snapshot copies the full store. Counter reads are atomic, so a
+// snapshot taken while profiling threads run is internally consistent
+// per counter (no torn values), though counters keep moving.
+func (c *Counters) Snapshot() *Data {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := &Data{
+		Counts:      make([]uint64, c.n),
+		Arcs:        make(map[Arc]uint64, len(c.arcs)),
+		CallTargets: make(map[CallSite]map[string]uint64, len(c.callTargets)),
+		FuncCalls:   make(map[CallArc]uint64, len(c.funcCalls)),
+	}
+	slab := *c.slab.Load()
+	for i := 0; i < c.n; i++ {
+		d.Counts[i] = atomic.LoadUint64(&slab[i>>chunkShift][i&(chunkSize-1)])
+	}
+	for a, n := range c.arcs {
+		d.Arcs[a] = n
+	}
+	for site, m := range c.callTargets {
+		cp := make(map[string]uint64, len(m))
+		for cls, n := range m {
+			cp[cls] = n
+		}
+		d.CallTargets[site] = cp
+	}
+	for a, n := range c.funcCalls {
+		d.FuncCalls[a] = n
+	}
+	return d
+}
+
+// scaleCount applies a merge weight, rounding to nearest.
+func scaleCount(v uint64, w float64) uint64 {
+	if w == 1 {
+		return v
+	}
+	if w <= 0 {
+		return 0
+	}
+	return uint64(float64(v)*w + 0.5)
+}
+
+// Merge folds d into c with the given weight (1.0 = plain sum; <1
+// decays the incoming profile, the aggregation rule for combining
+// fleet snapshots of different ages). d's TransIDs must refer to c's
+// translation space; counters beyond c's slab are allocated.
+func (c *Counters) Merge(d *Data, weight float64) {
+	for c.NumCounters() < len(d.Counts) {
+		c.NewCounter()
+	}
+	for i, v := range d.Counts {
+		c.Add(TransID(i), scaleCount(v, weight))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for a, n := range d.Arcs {
+		if s := scaleCount(n, weight); s > 0 {
+			c.arcs[a] += s
+		}
+	}
+	for site, m := range d.CallTargets {
+		for cls, n := range m {
+			s := scaleCount(n, weight)
+			if s == 0 {
+				continue
+			}
+			dst := c.callTargets[site]
+			if dst == nil {
+				dst = map[string]uint64{}
+				c.callTargets[site] = dst
+			}
+			dst[cls] += s
+		}
+	}
+	for a, n := range d.FuncCalls {
+		if s := scaleCount(n, weight); s > 0 {
+			c.funcCalls[a] += s
+		}
+	}
 }

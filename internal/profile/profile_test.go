@@ -1,6 +1,7 @@
 package profile_test
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/profile"
@@ -58,5 +59,87 @@ func TestCallGraph(t *testing.T) {
 	}
 	if len(g) != 2 {
 		t.Errorf("graph size = %d", len(g))
+	}
+}
+
+// TestConcurrentIncAndGrowth hammers Inc from many goroutines while
+// the slab keeps growing; run under -race this checks that the
+// lock-free increment path never races with slab growth or snapshots.
+func TestConcurrentIncAndGrowth(t *testing.T) {
+	c := profile.NewCounters()
+	const workers = 8
+	const perWorker = 5000
+	ids := make([]profile.TransID, workers)
+	for i := range ids {
+		ids[i] = c.NewCounter()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id profile.TransID) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc(id)
+			}
+		}(ids[w])
+	}
+	// Concurrent growth and snapshots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3000; i++ {
+			c.NewCounter()
+			if i%500 == 0 {
+				c.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	for _, id := range ids {
+		if got := c.Count(id); got != perWorker {
+			t.Errorf("counter %d = %d, want %d", id, got, perWorker)
+		}
+	}
+}
+
+func TestSnapshotMergeWeighted(t *testing.T) {
+	a := profile.NewCounters()
+	i0 := a.NewCounter()
+	i1 := a.NewCounter()
+	for i := 0; i < 10; i++ {
+		a.Inc(i0)
+	}
+	a.Inc(i1)
+	a.RecordArc(i0, i1)
+	a.RecordCallTarget(profile.CallSite{FuncID: 1, PC: 2}, "C")
+	a.RecordCall(1, 2)
+
+	d := a.Snapshot()
+	// The snapshot is a copy: further increments don't affect it.
+	a.Inc(i0)
+	if d.Counts[i0] != 10 {
+		t.Fatalf("snapshot count = %d, want 10", d.Counts[i0])
+	}
+
+	b := profile.NewCounters()
+	b.Merge(d, 0.5)
+	if got := b.Count(i0); got != 5 {
+		t.Errorf("merged count = %d, want 5", got)
+	}
+	if got := b.ArcCount(i0, i1); got != 1 {
+		t.Errorf("merged arc = %d, want 1 (0.5 rounds up)", got)
+	}
+	tp := b.CallTargets(profile.CallSite{FuncID: 1, PC: 2})
+	if tp == nil || tp.Total != 1 {
+		t.Errorf("merged call targets = %+v", tp)
+	}
+	if g := b.CallGraph(); g[profile.CallArc{Caller: 1, Callee: 2}] != 1 {
+		t.Errorf("merged call graph = %v", g)
+	}
+
+	// Merging twice at weight 1 doubles.
+	b.Merge(d, 1)
+	if got := b.Count(i0); got != 15 {
+		t.Errorf("second merge count = %d, want 15", got)
 	}
 }

@@ -1,0 +1,69 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestJumpstartBeatsColdStart is the acceptance criterion for the
+// jumpstart subsystem: under the same seed and configuration, a server
+// warm-started from a profile snapshot must reach 90% of steady-state
+// RPS in strictly fewer simulated minutes than a cold start.
+func TestJumpstartBeatsColdStart(t *testing.T) {
+	cfg := server.DefaultConfig()
+	cfg.Minutes = 20
+	cfg.CyclesPerMinute = 1_200_000
+
+	cold, err := server.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := server.WarmSnapshot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.Jumpstart = snap
+	warm, err := server.Simulate(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if cold.MinutesTo90 < 0 {
+		t.Fatalf("cold start never reached 90%% steady RPS in %d minutes", cfg.Minutes)
+	}
+	if warm.MinutesTo90 < 0 {
+		t.Fatalf("jumpstarted start never reached 90%% steady RPS in %d minutes", cfg.Minutes)
+	}
+	if warm.MinutesTo90 >= cold.MinutesTo90 {
+		t.Errorf("jumpstart must reach 90%% steady RPS strictly sooner: warm=minute %.0f, cold=minute %.0f",
+			warm.MinutesTo90, cold.MinutesTo90)
+	}
+
+	jl := warm.JumpstartLoad
+	if jl.LoadedTrans == 0 || jl.LoadedFuncs == 0 {
+		t.Errorf("jumpstart loaded nothing: %+v", jl)
+	}
+	if !jl.Optimized {
+		t.Error("jumpstart did not fire the global retranslation trigger")
+	}
+	if len(jl.StaleFuncs) != 0 || len(jl.UnknownFuncs) != 0 {
+		t.Errorf("identical source must produce no stale/unknown functions: stale=%v unknown=%v",
+			jl.StaleFuncs, jl.UnknownFuncs)
+	}
+
+	// The warm timeline must carry the J event instead of A/C.
+	sawJ := false
+	for _, s := range warm.Samples {
+		if s.Event == "J" {
+			sawJ = true
+		}
+		if s.Event == "C" {
+			t.Error("jumpstarted run should not hit the live-profiling optimize event")
+		}
+	}
+	if !sawJ {
+		t.Error("no J event in the jumpstarted timeline")
+	}
+}

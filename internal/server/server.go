@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"repro/internal/jit"
+	"repro/internal/jumpstart"
 	"repro/internal/perflab"
 	"repro/internal/workload"
 )
@@ -26,7 +27,7 @@ type Sample struct {
 	// RPSPct is throughput relative to steady state (100 = steady).
 	RPSPct float64
 	// Event marks lifecycle points ("A" profiling done, "C" optimized
-	// published, "D" cache full).
+	// published, "D" cache full, "J" jumpstarted from a snapshot).
 	Event string
 }
 
@@ -50,6 +51,13 @@ type Config struct {
 	FleetWaveMinutes int
 	// Seed for request-mix sampling.
 	Seed int64
+	// Jumpstart, when set, warm-starts the restarted server from a
+	// persisted profile snapshot before it serves its first request:
+	// profiling is skipped and optimized code is published
+	// immediately. The time the optimizing compiler spends is charged
+	// against minute 0's cycle budget — warm starts are not free, just
+	// much cheaper than minutes of profiling.
+	Jumpstart *jumpstart.Snapshot
 }
 
 // DefaultConfig approximates the paper's 30-minute window.
@@ -75,8 +83,18 @@ type Result struct {
 	// SteadyCodeBytes is the steady-state code footprint.
 	SteadyCodeBytes uint64
 	// PctTimeInLiveCode approximates the paper's "8% of JITed-code
-	// time in live translations" steady-state metric.
+	// time in live translations" steady-state metric. It is computed
+	// from simulated cycle time — machine cycles spent in live
+	// tracelets as a share of machine cycles in live + optimized code
+	// — not from code bytes.
 	PctTimeInLiveCode float64
+	// MinutesTo90 is the first simulated minute at which throughput
+	// reached 90% of steady state (time-to-90%-steady-RPS, the warmup
+	// metric jumpstart attacks); -1 if never reached.
+	MinutesTo90 float64
+	// JumpstartLoad reports snapshot acceptance when Config.Jumpstart
+	// was set.
+	JumpstartLoad jit.JumpstartResult
 }
 
 // Simulate runs the restart timeline.
@@ -136,12 +154,29 @@ func Simulate(cfg Config) (*Result, error) {
 		SteadyCodeBytes: steadyEng.Stats().BytesOptimized +
 			steadyEng.Stats().BytesLive + steadyEng.Stats().BytesProfiling,
 	}
+	// Jumpstart: load the snapshot before the first request lands. The
+	// optimizing compiler's cycles are charged against minute 0.
+	var jumpstartCycles uint64
+	if cfg.Jumpstart != nil {
+		before := eng.Cycles()
+		res.JumpstartLoad = eng.LoadProfile(cfg.Jumpstart)
+		jumpstartCycles = eng.Cycles() - before
+	}
+
 	rng = rand.New(rand.NewSource(cfg.Seed + 1))
-	sawOptimize := false
-	sawProfilingDone := false
+	sawOptimize := cfg.Jumpstart != nil && res.JumpstartLoad.Optimized
+	sawProfilingDone := sawOptimize
 	sawFull := false
+	jumpEvent := sawOptimize
 	for minute := 0; minute < cfg.Minutes; minute++ {
 		budget := cfg.CyclesPerMinute
+		if minute == 0 && jumpstartCycles > 0 {
+			if jumpstartCycles >= budget {
+				budget = 0
+			} else {
+				budget -= jumpstartCycles
+			}
+		}
 		// Fleet-wave overload window: load balancers shift traffic of
 		// restarting peers onto this (now warm) server.
 		demand := steadyRPS
@@ -160,6 +195,10 @@ func Simulate(cfg Config) (*Result, error) {
 		st := eng.Stats()
 		code := st.BytesProfiling + st.BytesOptimized + st.BytesLive
 		ev := ""
+		if jumpEvent {
+			ev = "J"
+			jumpEvent = false
+		}
 		if !sawProfilingDone && st.ProfilingTranslations > 0 && st.OptimizeRuns == 0 &&
 			minute >= 1 {
 			ev = "A"
@@ -181,11 +220,43 @@ func Simulate(cfg Config) (*Result, error) {
 		})
 	}
 	st := eng.Stats()
-	if st.MachineCycles > 0 {
-		res.PctTimeInLiveCode = 100 * float64(st.BytesLive) /
-			float64(st.BytesLive+st.BytesOptimized)
+	// Share of JITed-code *cycle time* spent in live translations
+	// (live vs optimized; profiling-translation time is warmup, not
+	// steady state, and is excluded).
+	if denom := st.MachineCyclesLive + st.MachineCyclesOptimized; denom > 0 {
+		res.PctTimeInLiveCode = 100 * float64(st.MachineCyclesLive) / float64(denom)
+	}
+	res.MinutesTo90 = -1
+	for _, s := range res.Samples {
+		if s.RPSPct >= 90 {
+			res.MinutesTo90 = s.Minute
+			break
+		}
 	}
 	return res, nil
+}
+
+// WarmSnapshot runs a donor server to steady state under cfg and
+// returns its profile snapshot — the artifact a production fleet
+// persists periodically and ships to restarting peers. The donor is
+// driven with the endpoint suite until the global retranslation
+// trigger fires (bounded), so the snapshot holds a full profile.
+func WarmSnapshot(cfg Config) (*jumpstart.Snapshot, error) {
+	if cfg.Minutes == 0 {
+		cfg = DefaultConfig()
+	}
+	eng, eps, err := perflab.NewEngine(cfg.JIT)
+	if err != nil {
+		return nil, err
+	}
+	for round := 0; round < 300 && eng.Stats().OptimizeRuns == 0; round++ {
+		for _, ep := range eps {
+			if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return eng.ProfileSnapshot(), nil
 }
 
 // Report renders the timeline.
@@ -194,6 +265,15 @@ func Report(w io.Writer, r *Result) {
 	for _, s := range r.Samples {
 		fmt.Fprintf(w, "%6.0f %12d %8.1f %s\n", s.Minute, s.CodeBytes, s.RPSPct, s.Event)
 	}
-	fmt.Fprintf(w, "steady RPS=%.1f/min, steady code=%d bytes, live-code share=%.1f%%\n",
+	fmt.Fprintf(w, "steady RPS=%.1f/min, steady code=%d bytes, live-code time share=%.1f%%\n",
 		r.SteadyRPS, r.SteadyCodeBytes, r.PctTimeInLiveCode)
+	if r.MinutesTo90 >= 0 {
+		fmt.Fprintf(w, "time to 90%% steady RPS: minute %.0f\n", r.MinutesTo90)
+	} else {
+		fmt.Fprintf(w, "time to 90%% steady RPS: not reached\n")
+	}
+	if jl := r.JumpstartLoad; jl.LoadedTrans > 0 || len(jl.StaleFuncs) > 0 {
+		fmt.Fprintf(w, "jumpstart: %d funcs, %d translations loaded; %d stale, %d unknown\n",
+			jl.LoadedFuncs, jl.LoadedTrans, len(jl.StaleFuncs), len(jl.UnknownFuncs))
+	}
 }

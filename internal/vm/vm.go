@@ -115,7 +115,16 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 			v.Meter.Charge(profilingReentryCost)
 		}
 		out := v.JIT.Machine.Exec(tr.Code, fr)
-		v.JIT.Stats.MachineCycles += v.Meter.Cycles - before
+		execCycles := v.Meter.Cycles - before
+		v.JIT.Stats.MachineCycles += execCycles
+		switch tr.Kind {
+		case jit.ModeTracelet:
+			v.JIT.Stats.MachineCyclesLive += execCycles
+		case jit.ModeProfiling:
+			v.JIT.Stats.MachineCyclesProfiling += execCycles
+		case jit.ModeRegion:
+			v.JIT.Stats.MachineCyclesOptimized += execCycles
+		}
 		v.JIT.Stats.MachineEnters++
 		v.JIT.Stats.GuardFails += uint64(out.GuardFails)
 		switch out.Kind {
