@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|all [-quick]
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|all [-quick] [-workers N]
 package main
 
 import (
@@ -17,8 +17,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
+	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
 	flag.Parse()
 
 	pc := experiments.Full
@@ -64,6 +65,23 @@ func main() {
 			return err
 		}
 		experiments.ReportJumpstart(os.Stdout, c)
+		return nil
+	})
+	run("scale", func(perflab.Config) error {
+		cfg := server.DefaultConfig()
+		if *quick {
+			cfg.Minutes = 12
+			cfg.CyclesPerMinute = 1_200_000
+		}
+		counts := []int{1}
+		if *workers > 1 {
+			counts = append(counts, *workers)
+		}
+		rows, err := experiments.Scaling(cfg, counts)
+		if err != nil {
+			return err
+		}
+		experiments.ReportScaling(os.Stdout, rows)
 		return nil
 	})
 	run("fig10", func(pc perflab.Config) error {

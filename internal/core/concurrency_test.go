@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestConcurrentWorkersAcrossOptimize hammers one shared JIT with
+// several worker VMs straddling the profiling → global-retranslation
+// transition: workers race to mint profiling translations, the
+// background compiler publishes the optimized index mid-traffic, and
+// every request's output must stay identical to the interpreter's.
+// Run under -race this exercises the RCU index publication, the
+// single-flight dedup, and the atomic stats counters.
+func TestConcurrentWorkersAcrossOptimize(t *testing.T) {
+	src, eps := workload.Combined()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference outputs from a pure interpreter.
+	refEng, err := core.NewEngine(unit, jit.Config{Mode: jit.ModeInterp}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]string{}
+	for _, ep := range eps {
+		var sb strings.Builder
+		refEng.VM.SetOut(&sb)
+		val, err := refEng.Call(workload.EndpointFunc(ep.Name))
+		if err != nil {
+			t.Fatalf("reference %s: %v", ep.Name, err)
+		}
+		refEng.Heap().DecRef(val)
+		ref[ep.Name] = sb.String()
+	}
+
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 300 // fire the global trigger mid-run
+	cfg.BackgroundCompile = true
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const rounds = 30
+	ws := make([]*vm.VM, workers)
+	ws[0] = eng.VM
+	for i := 1; i < workers; i++ {
+		ws[i] = eng.NewWorker(io.Discard)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(v *vm.VM) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, ep := range eps {
+					fn, ok := unit.FuncByName(workload.EndpointFunc(ep.Name))
+					if !ok {
+						errCh <- fmt.Errorf("endpoint %s: missing function", ep.Name)
+						return
+					}
+					var sb strings.Builder
+					v.SetOut(&sb)
+					val, err := v.CallFunc(fn, nil, nil)
+					if err != nil {
+						errCh <- fmt.Errorf("endpoint %s: %v", ep.Name, err)
+						return
+					}
+					v.Heap.DecRef(val)
+					if sb.String() != ref[ep.Name] {
+						errCh <- fmt.Errorf("endpoint %s: output diverged under concurrency:\n got %q\nwant %q",
+							ep.Name, sb.String(), ref[ep.Name])
+						return
+					}
+				}
+			}
+		}(ws[i])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The trigger fired during traffic; the background compiler may
+	// still be publishing — wait for it, then check the publish.
+	deadline := time.Now().Add(10 * time.Second)
+	for !eng.VM.JIT.Optimized() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !eng.VM.JIT.Optimized() {
+		t.Fatal("optimized index never published")
+	}
+	st := eng.Stats()
+	if st.OptimizeRuns != 1 {
+		t.Errorf("global retranslation ran %d times, want exactly 1", st.OptimizeRuns)
+	}
+	if st.OptimizedTranslations == 0 {
+		t.Error("no optimized translations published")
+	}
+	if st.ProfilingTranslations == 0 {
+		t.Error("no profiling translations were minted before the trigger")
+	}
+}

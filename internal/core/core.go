@@ -138,8 +138,16 @@ func (e *Engine) LoadProfile(s *jumpstart.Snapshot) jit.JumpstartResult {
 	return e.VM.JIT.Jumpstart(s)
 }
 
-// Stats returns JIT statistics.
-func (e *Engine) Stats() jit.Stats { return e.VM.JIT.Stats }
+// Stats returns a consistent snapshot of the JIT statistics.
+func (e *Engine) Stats() jit.Stats { return e.VM.JIT.Stats() }
+
+// NewWorker creates an additional worker VM sharing this engine's JIT
+// (translation cache, profile data, code cache). Workers execute
+// requests concurrently; each owns its interpreter state, heap, and
+// cycle meter.
+func (e *Engine) NewWorker(out io.Writer) *vm.VM {
+	return vm.NewWorker(e.VM.JIT, out)
+}
 
 // Heap exposes the guest heap counters (refcount activity, COW
 // copies, destructor runs) for tests and experiments.

@@ -126,6 +126,61 @@ func fmtMinutes(m float64) string {
 	return fmt.Sprintf("minute %.0f", m)
 }
 
+// ---------- Worker scaling: concurrent serving throughput ----------
+
+// ScalingRow reports aggregate throughput for one worker count.
+type ScalingRow struct {
+	Workers int
+	// RPM is the mean aggregate requests per simulated minute across
+	// the timeline (all workers summed).
+	RPM float64
+	// Speedup is RPM relative to the single-worker row.
+	Speedup float64
+}
+
+// Scaling replays the restart timeline with increasing worker counts
+// sharing one JIT and measures aggregate request throughput. The
+// fleet-wave window is disabled so every run is demand-capped at N×
+// the per-core steady-state rate; near-linear speedup means the
+// shared translation index and counters are not a serialization
+// point.
+func Scaling(cfg server.Config, workerCounts []int) ([]ScalingRow, error) {
+	if cfg.Minutes == 0 {
+		cfg = server.DefaultConfig()
+	}
+	cfg.FleetWaveAt = cfg.Minutes // no overload window
+	var rows []ScalingRow
+	for _, n := range workerCounts {
+		c := cfg
+		c.Workers = n
+		res, err := server.Simulate(c)
+		if err != nil {
+			return nil, fmt.Errorf("scaling %d workers: %w", n, err)
+		}
+		var rpm float64
+		for _, s := range res.Samples {
+			rpm += s.RPSPct / 100 * res.SteadyRPS * float64(n)
+		}
+		rpm /= float64(len(res.Samples))
+		rows = append(rows, ScalingRow{Workers: n, RPM: rpm})
+	}
+	for i := range rows {
+		if rows[0].RPM > 0 {
+			rows[i].Speedup = rows[i].RPM / rows[0].RPM
+		}
+	}
+	return rows, nil
+}
+
+// ReportScaling renders the table.
+func ReportScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintf(w, "Worker scaling — aggregate throughput, N workers sharing one JIT\n")
+	fmt.Fprintf(w, "%8s %14s %10s\n", "workers", "req/min", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %14.1f %9.2fx\n", r.Workers, r.RPM, r.Speedup)
+	}
+}
+
 // ---------- Figure 10: optimization impact ----------
 
 // Fig10Row is one bar of Figure 10.

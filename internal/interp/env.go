@@ -77,6 +77,26 @@ func NewEnv(u *hhbc.Unit, heap *runtime.Heap, out io.Writer) (*Env, error) {
 	return env, nil
 }
 
+// NewEnvFrom derives a worker environment from an already-linked one.
+// The class table is shared, not re-linked: compiled translations
+// embed *runtime.Class pointers, so class identity must be global
+// across every worker executing the shared code cache. Heap, output,
+// call hooks, and recursion depth are per-worker.
+func NewEnvFrom(base *Env, heap *runtime.Heap, out io.Writer) *Env {
+	env := &Env{
+		Unit: base.Unit, Heap: heap, Out: out,
+		Classes:  base.Classes,
+		MaxDepth: base.MaxDepth,
+	}
+	env.Call = env.interpCall
+	heap.OnDestruct = func(obj *runtime.Object) {
+		if id, ok := obj.Class.LookupMethod("__destruct"); ok {
+			_, _ = env.Call(env.Unit.Funcs[id], obj, nil)
+		}
+	}
+	return env
+}
+
 // link flattens class definitions into runtime classes.
 func (e *Env) link() error {
 	// Multiple passes to resolve parents declared in any order.
@@ -216,7 +236,9 @@ func (e *Env) NewException(clsName, msg string) *runtime.Object {
 	if !ok {
 		cls, ok = e.Classes["Exception"]
 		if !ok {
-			// No Exception class linked: synthesize a minimal one.
+			// No Exception class linked: synthesize a minimal one. Not
+			// cached — the class table is shared across worker envs and
+			// read lock-free, so it is immutable after linking.
 			cls = &runtime.Class{
 				Name:      "Exception",
 				PropNames: map[string]int{"message": 0},
@@ -224,7 +246,6 @@ func (e *Env) NewException(clsName, msg string) *runtime.Object {
 				Methods:   map[string]int{},
 				ClassID:   -1,
 			}
-			e.Classes["Exception"] = cls
 		}
 	}
 	obj := e.NewInstance(cls)

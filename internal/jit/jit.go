@@ -3,10 +3,21 @@
 // profiling translations, and profile-guided optimized region
 // translations published at a global retranslation trigger with
 // function sorting and huge-page mapping (Section 5.1).
+//
+// Concurrency model (DESIGN.md §9): the translation index is
+// published RCU-style through an atomic pointer, so the dispatch path
+// (Lookup / HasMatch) is lock-free; all mutation — installing a
+// translation, the global optimized publish — copies the index under
+// a writer mutex and swaps the new map in atomically. Translation
+// creation is deduplicated with a per-(func,PC) single-flight table,
+// and the global retranslation can run on a background compiler
+// goroutine while workers keep executing profiling translations.
 package jit
 
 import (
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/hhbc"
 	"repro/internal/interp"
@@ -61,6 +72,14 @@ type Config struct {
 	FunctionSort bool
 	HugePages    bool
 
+	// BackgroundCompile runs the global retranslation on a dedicated
+	// compiler goroutine (HHVM's JIT worker threads): request workers
+	// keep executing profiling translations until the optimized index
+	// is swapped in. Off by default so single-worker runs stay
+	// deterministic (the trigger compiles inline, charged to the
+	// triggering worker).
+	BackgroundCompile bool
+
 	// CodeCacheLimit bounds total JITed bytes (0 = default 64 MiB).
 	CodeCacheLimit uint64
 	// ProfileTrigger fires global retranslation after this many
@@ -111,18 +130,28 @@ type transKey struct {
 	pc int
 }
 
-// Stats tracks JIT activity for the evaluation harness.
+// transIndex is the RCU-published translation index: immutable once
+// stored, replaced wholesale by writers.
+type transIndex map[transKey][]*Translation
+
+// Stats tracks JIT activity for the evaluation harness. All fields
+// are updated atomically (workers bump them concurrently); read a
+// consistent copy through JIT.Stats().
 type Stats struct {
-	LiveTranslations      int
-	ProfilingTranslations int
-	OptimizedTranslations int
+	LiveTranslations      uint64
+	ProfilingTranslations uint64
+	OptimizedTranslations uint64
 	BytesLive             uint64
 	BytesProfiling        uint64
 	BytesOptimized        uint64
 	GuardFails            uint64
 	Entries               uint64
-	OptimizeRuns          int
+	OptimizeRuns          uint64
 	CacheFullEvents       uint64
+	// PartialPublishFuncs counts profiled functions whose optimized
+	// regions could not all be compiled at the global trigger (code
+	// cache full); they stay on their profiling translations.
+	PartialPublishFuncs uint64
 
 	// Execution breakdown (simulated cycles and event counts).
 	MachineCycles uint64
@@ -140,17 +169,29 @@ type Stats struct {
 	InterpRuns             uint64
 }
 
-// JIT owns the translation cache and compilation pipelines.
+// JIT owns the translation cache and compilation pipelines. One JIT
+// is shared by every worker VM executing the unit; per-worker state
+// (interpreter env, heap, meter, machine) lives in the workers.
 type JIT struct {
 	Cfg      Config
 	Env      *interp.Env
 	Unit     *hhbc.Unit
 	Counters *profile.Counters
 	Cache    *mcode.Cache
-	Machine  *machine.Machine
-	Meter    *machine.Meter
+	// Meter is the primary worker's meter; synchronous compiles are
+	// charged to the meter of the worker that requested them.
+	Meter *machine.Meter
+	// CompileMeter absorbs background-compiler cycles (a dedicated
+	// core in real HHVM) so they are not charged to any worker.
+	CompileMeter *machine.Meter
 
-	trans map[transKey][]*Translation
+	// trans is the RCU-published translation index: loads are
+	// lock-free, stores happen under mu on a fresh copy.
+	trans atomic.Pointer[transIndex]
+
+	// mu is the writer mutex: index publication and the mutable
+	// tables below.
+	mu sync.Mutex
 	// profBlocks collects profiling region blocks per function.
 	profBlocks map[int][]*region.Block
 	profIDs    map[int][]profile.TransID
@@ -161,11 +202,20 @@ type JIT struct {
 	// blacklist marks addresses whose translation failed; they stay
 	// interpreted.
 	blacklist map[transKey]bool
-	entries   uint64
-	optimized bool
-	cacheFull bool
+	// inflight is the single-flight table: one minting compile per
+	// (func, PC) at a time; losers wait and re-check the index.
+	inflight map[transKey]chan struct{}
 
-	Stats Stats
+	// compileMu serializes backend compiles (one compiler thread,
+	// like HHVM's per-translation compile lease).
+	compileMu sync.Mutex
+
+	entries    atomic.Uint64
+	optStarted atomic.Bool // global retranslation claimed
+	optimized  atomic.Bool // optimized index published
+	cacheFull  atomic.Bool
+
+	stats Stats
 }
 
 // New wires a JIT to an environment.
@@ -183,22 +233,78 @@ func New(cfg Config, env *interp.Env, meter *machine.Meter) *JIT {
 		cfg.LiveThreshold = 2
 	}
 	j := &JIT{
-		Cfg:        cfg,
-		Env:        env,
-		Unit:       env.Unit,
-		Counters:   profile.NewCounters(),
-		Cache:      mcode.NewCache(cfg.CodeCacheLimit),
-		Meter:      meter,
-		trans:      map[transKey][]*Translation{},
-		profBlocks: map[int][]*region.Block{},
-		profIDs:    map[int][]profile.TransID{},
-		byProfID:   map[profile.TransID]*Translation{},
-		entryCount: map[transKey]uint64{},
-		blacklist:  map[transKey]bool{},
+		Cfg:          cfg,
+		Env:          env,
+		Unit:         env.Unit,
+		Counters:     profile.NewCounters(),
+		Cache:        mcode.NewCache(cfg.CodeCacheLimit),
+		Meter:        meter,
+		CompileMeter: &machine.Meter{},
+		profBlocks:   map[int][]*region.Block{},
+		profIDs:      map[int][]profile.TransID{},
+		byProfID:     map[profile.TransID]*Translation{},
+		entryCount:   map[transKey]uint64{},
+		blacklist:    map[transKey]bool{},
+		inflight:     map[transKey]chan struct{}{},
 	}
-	j.Machine = machine.New(env, meter, j.Counters, j.Cache)
+	empty := transIndex{}
+	j.trans.Store(&empty)
 	return j
 }
+
+// Stats returns a consistent copy of the counters.
+func (j *JIT) Stats() Stats {
+	ld := func(p *uint64) uint64 { return atomic.LoadUint64(p) }
+	s := &j.stats
+	return Stats{
+		LiveTranslations:      ld(&s.LiveTranslations),
+		ProfilingTranslations: ld(&s.ProfilingTranslations),
+		OptimizedTranslations: ld(&s.OptimizedTranslations),
+		BytesLive:             ld(&s.BytesLive),
+		BytesProfiling:        ld(&s.BytesProfiling),
+		BytesOptimized:        ld(&s.BytesOptimized),
+		GuardFails:            ld(&s.GuardFails),
+		Entries:               ld(&s.Entries),
+		OptimizeRuns:          ld(&s.OptimizeRuns),
+		CacheFullEvents:       ld(&s.CacheFullEvents),
+		PartialPublishFuncs:   ld(&s.PartialPublishFuncs),
+
+		MachineCycles:          ld(&s.MachineCycles),
+		MachineCyclesLive:      ld(&s.MachineCyclesLive),
+		MachineCyclesProfiling: ld(&s.MachineCyclesProfiling),
+		MachineCyclesOptimized: ld(&s.MachineCyclesOptimized),
+		InterpCycles:           ld(&s.InterpCycles),
+		MachineEnters:          ld(&s.MachineEnters),
+		SideExits:              ld(&s.SideExits),
+		BindRequests:           ld(&s.BindRequests),
+		InterpRuns:             ld(&s.InterpRuns),
+	}
+}
+
+// NoteInterpRun accounts one interpreter stretch (worker hot path).
+func (j *JIT) NoteInterpRun(cycles uint64) {
+	atomic.AddUint64(&j.stats.InterpCycles, cycles)
+	atomic.AddUint64(&j.stats.InterpRuns, 1)
+}
+
+// NoteMachineExec accounts one translation execution.
+func (j *JIT) NoteMachineExec(kind Mode, cycles uint64, guardFails int) {
+	atomic.AddUint64(&j.stats.MachineCycles, cycles)
+	switch kind {
+	case ModeTracelet:
+		atomic.AddUint64(&j.stats.MachineCyclesLive, cycles)
+	case ModeProfiling:
+		atomic.AddUint64(&j.stats.MachineCyclesProfiling, cycles)
+	case ModeRegion:
+		atomic.AddUint64(&j.stats.MachineCyclesOptimized, cycles)
+	}
+	atomic.AddUint64(&j.stats.MachineEnters, 1)
+	atomic.AddUint64(&j.stats.GuardFails, uint64(guardFails))
+}
+
+// NoteSideExit / NoteBindRequest account translation exit kinds.
+func (j *JIT) NoteSideExit()    { atomic.AddUint64(&j.stats.SideExits, 1) }
+func (j *JIT) NoteBindRequest() { atomic.AddUint64(&j.stats.BindRequests, 1) }
 
 // frameTypeSource adapts a live frame to the region selector.
 type frameTypeSource struct{ fr *interp.Frame }
@@ -218,7 +324,7 @@ func (s frameTypeSource) StackType(depth int) types.Type {
 }
 
 // guardsMatch checks a translation's preconditions against live frame
-// state, charging the per-candidate dispatch fee.
+// state.
 func (j *JIT) guardsMatch(tr *Translation, fr *interp.Frame) bool {
 	if tr.EntryDepth != len(fr.Stack) {
 		return false
@@ -238,57 +344,110 @@ func (j *JIT) guardsMatch(tr *Translation, fr *interp.Frame) bool {
 	return true
 }
 
-// Lookup finds (or creates, subject to thresholds) a translation for
-// (fn, fr.PC) matching the live frame types. Returns nil to stay in
-// the interpreter.
-func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame) *Translation {
-	if j.Cfg.Mode == ModeInterp {
-		return nil
-	}
-	key := transKey{fn.ID, fr.PC}
-	chain := j.trans[key]
-	for _, tr := range chain {
-		j.Meter.Charge(uint64(3 + 2*len(tr.Preconds))) // chain guard checks
+// findMatch scans the published chain for a guard-matching
+// translation, charging the per-candidate dispatch fee to m.
+func (j *JIT) findMatch(key transKey, fr *interp.Frame, m *machine.Meter) *Translation {
+	for _, tr := range (*j.trans.Load())[key] {
+		m.Charge(uint64(3 + 2*len(tr.Preconds))) // chain guard checks
 		if j.guardsMatch(tr, fr) {
 			return tr
 		}
 	}
-	// Nothing matches: consider translating.
-	if j.cacheFull || j.blacklist[key] {
-		return nil
-	}
-	j.entryCount[key]++
-	switch j.Cfg.Mode {
-	case ModeTracelet:
-		if j.entryCount[key] < j.Cfg.LiveThreshold || len(chain) >= j.Cfg.MaxLiveChain {
-			return nil
-		}
-		return j.translateLive(fn, fr)
-	case ModeProfiling:
-		if len(chain) >= j.Cfg.MaxLiveChain {
-			return nil
-		}
-		return j.translateProfiling(fn, fr)
-	case ModeRegion:
-		if !j.optimized {
-			if len(chain) >= j.Cfg.MaxLiveChain {
-				return nil
-			}
-			return j.translateProfiling(fn, fr)
-		}
-		// Post-optimization: new code gets live translations.
-		if j.entryCount[key] < j.Cfg.LiveThreshold || len(chain) >= j.Cfg.MaxLiveChain {
-			return nil
-		}
-		return j.translateLive(fn, fr)
-	}
 	return nil
 }
 
+// Lookup finds (or creates, subject to thresholds) a translation for
+// (fn, fr.PC) matching the live frame types, charging dispatch and
+// compile fees to the calling worker's meter m. Returns nil to stay
+// in the interpreter. The fast path is a lock-free read of the
+// RCU-published index; the minting slow path serializes per key.
+func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
+	if j.Cfg.Mode == ModeInterp {
+		return nil
+	}
+	key := transKey{fn.ID, fr.PC}
+	if tr := j.findMatch(key, fr, m); tr != nil {
+		return tr
+	}
+	// Nothing matches: consider translating.
+	if j.cacheFull.Load() {
+		return nil
+	}
+	for {
+		j.mu.Lock()
+		// A racing worker may have published a match meanwhile.
+		if tr := j.findMatch(key, fr, m); tr != nil {
+			j.mu.Unlock()
+			return tr
+		}
+		if j.blacklist[key] || j.cacheFull.Load() {
+			j.mu.Unlock()
+			return nil
+		}
+		if done, busy := j.inflight[key]; busy {
+			// Single-flight: another worker is minting this key. Wait
+			// for its publish, then re-check; if its guard set fits,
+			// share it, otherwise loop around and mint our own.
+			j.mu.Unlock()
+			<-done
+			if tr := j.findMatch(key, fr, m); tr != nil {
+				return tr
+			}
+			continue
+		}
+		j.entryCount[key]++
+		var mint func(*hhbc.Func, *interp.Frame, *machine.Meter) *Translation
+		chain := (*j.trans.Load())[key]
+		switch j.Cfg.Mode {
+		case ModeTracelet:
+			if j.entryCount[key] < j.Cfg.LiveThreshold || len(chain) >= j.Cfg.MaxLiveChain {
+				j.mu.Unlock()
+				return nil
+			}
+			mint = j.translateLive
+		case ModeProfiling:
+			if len(chain) >= j.Cfg.MaxLiveChain {
+				j.mu.Unlock()
+				return nil
+			}
+			mint = j.translateProfiling
+		case ModeRegion:
+			if !j.optimized.Load() {
+				if len(chain) >= j.Cfg.MaxLiveChain {
+					j.mu.Unlock()
+					return nil
+				}
+				mint = j.translateProfiling
+			} else {
+				// Post-optimization: new code gets live translations.
+				if j.entryCount[key] < j.Cfg.LiveThreshold || len(chain) >= j.Cfg.MaxLiveChain {
+					j.mu.Unlock()
+					return nil
+				}
+				mint = j.translateLive
+			}
+		default:
+			j.mu.Unlock()
+			return nil
+		}
+		done := make(chan struct{})
+		j.inflight[key] = done
+		j.mu.Unlock()
+
+		tr := mint(fn, fr, m)
+
+		j.mu.Lock()
+		delete(j.inflight, key)
+		j.mu.Unlock()
+		close(done)
+		return tr
+	}
+}
+
 // HasMatch reports whether a matching translation exists (OSR check;
-// no translation creation, no fee).
+// no translation creation, no fee). Lock-free.
 func (j *JIT) HasMatch(fn *hhbc.Func, fr *interp.Frame) bool {
-	for _, tr := range j.trans[transKey{fn.ID, fr.PC}] {
+	for _, tr := range (*j.trans.Load())[transKey{fn.ID, fr.PC}] {
 		if j.guardsMatch(tr, fr) {
 			return true
 		}
@@ -301,16 +460,18 @@ func (j *JIT) HasMatch(fn *hhbc.Func, fr *interp.Frame) bool {
 // observation so loops that stay in the interpreter eventually cross
 // the live-translation threshold.
 func (j *JIT) WantsTranslation(fn *hhbc.Func, fr *interp.Frame) bool {
-	if j.cacheFull || j.Cfg.Mode == ModeInterp {
+	if j.cacheFull.Load() || j.Cfg.Mode == ModeInterp {
 		return false
 	}
 	key := transKey{fn.ID, fr.PC}
-	if j.blacklist[key] || len(j.trans[key]) >= j.Cfg.MaxLiveChain {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.blacklist[key] || len((*j.trans.Load())[key]) >= j.Cfg.MaxLiveChain {
 		return false
 	}
 	switch j.Cfg.Mode {
 	case ModeRegion:
-		if !j.optimized {
+		if !j.optimized.Load() {
 			return true // profiling translations are made eagerly
 		}
 	case ModeProfiling:
@@ -321,17 +482,24 @@ func (j *JIT) WantsTranslation(fn *hhbc.Func, fr *interp.Frame) bool {
 }
 
 // OnEntry counts function entries and fires the global retranslation
-// trigger (Section 5.1).
+// trigger (Section 5.1). With BackgroundCompile the trigger hands the
+// work to a compiler goroutine and returns immediately; the worker
+// keeps running profiling translations until the optimized index is
+// swapped in.
 func (j *JIT) OnEntry() {
-	j.entries++
-	j.Stats.Entries++
-	if j.Cfg.Mode == ModeRegion && !j.optimized && j.entries >= j.Cfg.ProfileTrigger {
-		j.OptimizeAll()
+	n := j.entries.Add(1)
+	atomic.AddUint64(&j.stats.Entries, 1)
+	if j.Cfg.Mode == ModeRegion && !j.optStarted.Load() && n >= j.Cfg.ProfileTrigger {
+		if j.Cfg.BackgroundCompile {
+			go j.OptimizeAll() // OptimizeAll claims the run via CAS
+		} else {
+			j.OptimizeAll()
+		}
 	}
 }
 
-// Optimized reports whether the global trigger has fired.
-func (j *JIT) Optimized() bool { return j.optimized }
+// Optimized reports whether the optimized index has been published.
+func (j *JIT) Optimized() bool { return j.optimized.Load() }
 
 // RecordArc notes a control transfer between two profiling
 // translations (TransCFG edges).

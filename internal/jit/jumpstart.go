@@ -45,8 +45,18 @@ func (j *JIT) SnapshotProfile() *jumpstart.Snapshot {
 
 	// Translations, in deterministic function order. transLoc maps a
 	// live TransID to its (snapshot func, local trans) coordinates.
+	// The profiling tables are mutated by concurrent workers minting
+	// translations, so they are copied under the writer mutex first.
+	j.mu.Lock()
+	profBlocks := make(map[int][]*region.Block, len(j.profBlocks))
+	profIDs := make(map[int][]profile.TransID, len(j.profIDs))
+	for id, blocks := range j.profBlocks {
+		profBlocks[id] = append([]*region.Block(nil), blocks...)
+		profIDs[id] = append([]profile.TransID(nil), j.profIDs[id]...)
+	}
+	j.mu.Unlock()
 	var fnIDs []int
-	for id := range j.profIDs {
+	for id := range profIDs {
 		fnIDs = append(fnIDs, id)
 	}
 	sort.Ints(fnIDs)
@@ -54,8 +64,8 @@ func (j *JIT) SnapshotProfile() *jumpstart.Snapshot {
 	transLoc := map[profile.TransID]loc{}
 	for _, fnID := range fnIDs {
 		fi := ensureFunc(fnID)
-		for k, blk := range j.profBlocks[fnID] {
-			pid := j.profIDs[fnID][k]
+		for k, blk := range profBlocks[fnID] {
+			pid := profIDs[fnID][k]
 			rec := jumpstart.TransProfile{
 				PC:         blk.Start,
 				EntryDepth: blk.EntryStackDepth,
@@ -215,8 +225,10 @@ func (j *JIT) Jumpstart(snap *jumpstart.Snapshot) JumpstartResult {
 				region.ModeProfiling, 0)
 			blk.ProfCounter = j.Counters.NewCounter()
 			j.Counters.Add(blk.ProfCounter, rec.Count)
+			j.mu.Lock()
 			j.profBlocks[fn.ID] = append(j.profBlocks[fn.ID], blk)
 			j.profIDs[fn.ID] = append(j.profIDs[fn.ID], blk.ProfCounter)
+			j.mu.Unlock()
 			ids[k] = blk.ProfCounter
 			res.LoadedTrans++
 		}
@@ -244,9 +256,9 @@ func (j *JIT) Jumpstart(snap *jumpstart.Snapshot) JumpstartResult {
 		}
 	}
 
-	if j.Cfg.Mode == ModeRegion && !j.optimized && res.LoadedTrans > 0 {
+	if j.Cfg.Mode == ModeRegion && !j.optimized.Load() && res.LoadedTrans > 0 {
 		j.OptimizeAll()
-		res.Optimized = true
+		res.Optimized = j.optimized.Load()
 	}
 	return res
 }

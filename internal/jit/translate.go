@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/hhbc"
 	"repro/internal/hhir"
 	"repro/internal/interp"
+	"repro/internal/machine"
 	"repro/internal/mcode"
+	"repro/internal/profile"
 	"repro/internal/region"
 	"repro/internal/types"
 	"repro/internal/vasm"
@@ -17,9 +20,15 @@ import (
 // Debug, when set, dumps every compiled region's IR to stderr.
 var Debug = os.Getenv("REPRO_JIT_DEBUG") != ""
 
-// compile runs a region through the optimizer and back end.
+// compile runs a region through the optimizer and back end, charging
+// the compilation cycles to m. Compiles are serialized on compileMu —
+// one compiler thread, matching HHVM's translation lease — so the
+// pipeline never runs reentrantly across workers.
 func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.PassConfig,
-	lay vasm.LayoutConfig, area mcode.Area) (*mcode.Code, error) {
+	lay vasm.LayoutConfig, area mcode.Area, m *machine.Meter) (*mcode.Code, error) {
+
+	j.compileMu.Lock()
+	defer j.compileMu.Unlock()
 
 	hu, err := hhir.Build(j.Unit, j.Env, desc, bcfg)
 	if err != nil {
@@ -39,14 +48,14 @@ func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.Pass
 	}
 	base, err := j.Cache.Alloc(area, code.Size)
 	if err != nil {
-		j.cacheFull = true
-		j.Stats.CacheFullEvents++
+		j.cacheFull.Store(true)
+		atomic.AddUint64(&j.stats.CacheFullEvents, 1)
 		return nil, err
 	}
 	code.Place(base)
 	// Compilation itself consumes CPU: the warmup dip in Figure 9 is
 	// partly JIT time. Charged per emitted byte.
-	j.Meter.Charge(code.Size * jitCyclesPerByte)
+	m.Charge(code.Size * jitCyclesPerByte)
 	return code, nil
 }
 
@@ -68,7 +77,7 @@ func (j *JIT) layoutConfig() vasm.LayoutConfig {
 
 // translateLive builds a gen-1 style tracelet translation from the
 // live frame state.
-func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame) *Translation {
+func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
 	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), frameTypeSource{fr},
 		region.ModeLive, 0)
 	desc := region.NewDesc(blk)
@@ -79,11 +88,13 @@ func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame) *Translation {
 		EnableMethodDispatch: false,
 	}
 	code, err := j.compile(desc, bcfg, j.passConfig(false),
-		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaLive)
+		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaLive, m)
 	if err != nil {
 		debugCompileErr("live", fn.FullName(), err)
-		if !j.cacheFull {
+		if !j.cacheFull.Load() {
+			j.mu.Lock()
 			j.blacklist[transKey{fn.ID, fr.PC}] = true
+			j.mu.Unlock()
 		}
 		return nil
 	}
@@ -92,24 +103,28 @@ func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame) *Translation {
 		Preconds: blk.Preconds, EntryDepth: blk.EntryStackDepth,
 		Code: code, ProfID: -1, Desc: desc,
 	}
-	j.install(tr)
-	j.Stats.LiveTranslations++
-	j.Stats.BytesLive += code.Size
+	j.mu.Lock()
+	j.installLocked(tr)
+	j.mu.Unlock()
+	atomic.AddUint64(&j.stats.LiveTranslations, 1)
+	atomic.AddUint64(&j.stats.BytesLive, code.Size)
 	return tr
 }
 
 // translateProfiling builds an instrumented single-block translation.
-func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame) *Translation {
+func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
 	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), frameTypeSource{fr},
 		region.ModeProfiling, 0)
 	blk.ProfCounter = j.Counters.NewCounter()
 	desc := region.NewDesc(blk)
 	bcfg := hhir.BuildConfig{Profiling: true, Counter: blk.ProfCounter}
 	code, err := j.compile(desc, bcfg, j.passConfig(true),
-		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaProfile)
+		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaProfile, m)
 	if err != nil {
-		if !j.cacheFull {
+		if !j.cacheFull.Load() {
+			j.mu.Lock()
 			j.blacklist[transKey{fn.ID, fr.PC}] = true
+			j.mu.Unlock()
 		}
 		return nil
 	}
@@ -118,39 +133,76 @@ func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame) *Translation {
 		Preconds: blk.Preconds, EntryDepth: blk.EntryStackDepth,
 		Code: code, ProfID: blk.ProfCounter, Desc: desc,
 	}
-	j.install(tr)
+	j.mu.Lock()
+	j.installLocked(tr)
 	j.byProfID[blk.ProfCounter] = tr
 	j.profBlocks[fn.ID] = append(j.profBlocks[fn.ID], blk)
 	j.profIDs[fn.ID] = append(j.profIDs[fn.ID], blk.ProfCounter)
-	j.Stats.ProfilingTranslations++
-	j.Stats.BytesProfiling += code.Size
+	j.mu.Unlock()
+	atomic.AddUint64(&j.stats.ProfilingTranslations, 1)
+	atomic.AddUint64(&j.stats.BytesProfiling, code.Size)
 	return tr
 }
 
-func (j *JIT) install(tr *Translation) {
+// installLocked publishes tr into the translation index RCU-style:
+// the current index is copied, the copy is extended, and the pointer
+// is swapped. Callers hold j.mu; concurrent lock-free readers keep
+// iterating the old map untouched.
+func (j *JIT) installLocked(tr *Translation) {
 	key := transKey{tr.FuncID, tr.PC}
-	j.trans[key] = append(j.trans[key], tr)
+	old := *j.trans.Load()
+	idx := make(transIndex, len(old)+1)
+	for k, v := range old {
+		idx[k] = v
+	}
+	chain := append([]*Translation(nil), old[key]...)
+	idx[key] = append(chain, tr)
+	j.trans.Store(&idx)
 }
 
 // OptimizeAll is the global retranslation trigger: it forms regions
 // for every profiled function, compiles them with the full pipeline,
 // sorts functions with the C3 heuristic, publishes the optimized code
 // into the hot area (optionally huge-page mapped), and discards the
-// profiling translations (points A..C in Figure 9).
+// profiling translations (points A..C in Figure 9). Exactly one run
+// ever happens (CAS-claimed); with BackgroundCompile it executes on a
+// compiler goroutine while workers keep serving from profiling
+// translations, and the optimized index becomes visible in one
+// atomic swap. Functions whose regions cannot all be compiled (code
+// cache full) are NOT unpublished: they keep their profiling
+// translations and are counted in Stats.PartialPublishFuncs.
 func (j *JIT) OptimizeAll() {
-	if j.optimized {
+	if !j.optStarted.CompareAndSwap(false, true) {
 		return
 	}
-	j.optimized = true
-	j.Stats.OptimizeRuns++
+	atomic.AddUint64(&j.stats.OptimizeRuns, 1)
+	meter := j.Meter
+	if j.Cfg.BackgroundCompile {
+		meter = j.CompileMeter
+	}
+
+	// Snapshot the profiling tables; workers may mint more profiling
+	// translations while we compile, and those simply miss this
+	// (single) optimization round. The blocks are deep-copied: guard
+	// relaxation widens Preconds in place, and the originals' Precond
+	// slices are shared with live profiling translations that workers
+	// are still guard-matching against.
+	j.mu.Lock()
+	blocksByFn := make(map[int][]*region.Block, len(j.profBlocks))
+	idsByFn := make(map[int][]profile.TransID, len(j.profIDs))
+	for fnID, blocks := range j.profBlocks {
+		blocksByFn[fnID] = cloneBlocks(blocks)
+		idsByFn[fnID] = append([]profile.TransID(nil), j.profIDs[fnID]...)
+	}
+	j.mu.Unlock()
 
 	type funcRegions struct {
 		fnID    int
 		regions []*region.Desc
 	}
 	var all []funcRegions
-	for fnID, blocks := range j.profBlocks {
-		g := region.BuildTransCFG(blocks, j.profIDs[fnID], j.Counters)
+	for fnID, blocks := range blocksByFn {
+		g := region.BuildTransCFG(blocks, idsByFn[fnID], j.Counters)
 		regions := region.FormRegions(g, region.DefaultFormConfig)
 		rcfg := region.DefaultRelaxConfig
 		rcfg.Enabled = j.Cfg.EnableGuardRelax
@@ -165,7 +217,11 @@ func (j *JIT) OptimizeAll() {
 
 	// Function sorting: order the publish sequence by C3 clustering
 	// over the dynamic call graph (Section 5.1.1).
-	order := j.functionOrder()
+	profFns := make([]int, 0, len(blocksByFn))
+	for id := range blocksByFn {
+		profFns = append(profFns, id)
+	}
+	order := j.functionOrder(profFns)
 	rank := map[int]int{}
 	for i, fnID := range order {
 		rank[fnID] = i
@@ -187,10 +243,11 @@ func (j *JIT) OptimizeAll() {
 	// budget constrains optimized + live code only. With a small
 	// budget the function-sorted order means the hottest code is
 	// compiled first — the property behind Figure 11's shape.
-	j.Cache.Free(mcode.AreaProfile, j.Stats.BytesProfiling)
+	j.Cache.Free(mcode.AreaProfile, atomic.LoadUint64(&j.stats.BytesProfiling))
 	j.Cache.ResetArea(mcode.AreaProfile)
 
-	// Compile and publish.
+	// Compile. The index is not touched yet: workers keep dispatching
+	// to profiling translations throughout this (long) phase.
 	bcfg := hhir.BuildConfig{
 		EnableInlining:       j.Cfg.EnableInlining,
 		EnableMethodDispatch: j.Cfg.EnableMethodDispatch,
@@ -199,13 +256,16 @@ func (j *JIT) OptimizeAll() {
 		RegionOf:             j.regionForInline,
 	}
 	var newTrans []*Translation
+	published := map[int]bool{} // fnID -> all regions compiled
 	for _, fr := range all {
+		ok := len(fr.regions) > 0
 		for _, desc := range fr.regions {
 			code, err := j.compile(desc, bcfg, j.passConfig(false),
-				j.layoutConfig(), mcode.AreaHot)
+				j.layoutConfig(), mcode.AreaHot, meter)
 			if err != nil {
 				debugCompileErr("optimize", desc.Entry().Func.FullName(), err)
-				continue // cache full: remaining code stays interpreted
+				ok = false // cache full: this function keeps its profiling code
+				continue
 			}
 			entry := desc.Entry()
 			tr := &Translation{
@@ -214,41 +274,94 @@ func (j *JIT) OptimizeAll() {
 				Code: code, ProfID: -1, Desc: desc,
 			}
 			newTrans = append(newTrans, tr)
-			j.Stats.OptimizedTranslations++
-			j.Stats.BytesOptimized += code.Size
+			atomic.AddUint64(&j.stats.OptimizedTranslations, 1)
+			atomic.AddUint64(&j.stats.BytesOptimized, code.Size)
 		}
+		published[fr.fnID] = ok
 	}
 
-	// Publish: optimized translations replace the profiling chains.
-	for key := range j.trans {
-		var keep []*Translation
-		for _, tr := range j.trans[key] {
-			if tr.Kind != ModeProfiling {
-				keep = append(keep, tr)
-			}
+	// Publish: one atomic swap installs every optimized translation
+	// and retires the profiling chains of fully-published functions.
+	// Partially-published functions (cache filled mid-publish) keep
+	// their profiling translations so they stay JITed.
+	var partial uint64
+	for _, ok := range published {
+		if !ok {
+			partial++
 		}
-		j.trans[key] = keep
+	}
+	j.mu.Lock()
+	old := *j.trans.Load()
+	idx := make(transIndex, len(old)+len(newTrans))
+	for key, chain := range old {
+		var keep []*Translation
+		for _, tr := range chain {
+			if tr.Kind == ModeProfiling && published[tr.FuncID] {
+				continue
+			}
+			keep = append(keep, tr)
+		}
+		if len(keep) > 0 {
+			idx[key] = keep
+		}
 	}
 	for _, tr := range newTrans {
-		j.install(tr)
+		key := transKey{tr.FuncID, tr.PC}
+		idx[key] = append(idx[key], tr)
 	}
-
-	if j.Cfg.HugePages {
-		j.Cache.SetHugePages(j.Cache.AreaUsed(mcode.AreaHot))
-	}
+	j.trans.Store(&idx)
 	// Reset entry counts so post-optimization live translation
 	// thresholds start fresh.
 	j.entryCount = map[transKey]uint64{}
-	j.cacheFull = false
+	j.optimized.Store(true)
+	j.mu.Unlock()
+
+	if partial > 0 {
+		atomic.AddUint64(&j.stats.PartialPublishFuncs, partial)
+		if Debug {
+			fmt.Fprintf(os.Stderr,
+				"JIT optimize: partial publish — %d function(s) kept on profiling translations (code cache full)\n",
+				partial)
+		}
+	}
+	if j.Cfg.HugePages {
+		j.Cache.SetHugePages(j.Cache.AreaUsed(mcode.AreaHot))
+	}
+	j.cacheFull.Store(false)
+}
+
+// cloneBlocks deep-copies profiling blocks for region formation. Live
+// profiling translations alias the originals' Preconds (guardsMatch
+// reads them lock-free on every dispatch), so any pass that rewrites
+// guards — relaxation in particular — must work on private copies.
+func cloneBlocks(blocks []*region.Block) []*region.Block {
+	out := make([]*region.Block, len(blocks))
+	for i, blk := range blocks {
+		cp := *blk
+		cp.Preconds = append([]region.Guard(nil), blk.Preconds...)
+		cp.EntryStackTypes = append([]types.Type(nil), blk.EntryStackTypes...)
+		cp.Succs = append([]int(nil), blk.Succs...)
+		if blk.PostLocals != nil {
+			cp.PostLocals = make(map[int]types.Type, len(blk.PostLocals))
+			for k, v := range blk.PostLocals {
+				cp.PostLocals[k] = v
+			}
+		}
+		out[i] = &cp
+	}
+	return out
 }
 
 // regionForInline supplies callee regions to the partial inliner: the
 // callee's own profiled region when available, otherwise a region
 // synthesized from the argument types.
 func (j *JIT) regionForInline(f *hhbc.Func, argTypes []types.Type) *region.Desc {
-	blocks := j.profBlocks[f.ID]
+	j.mu.Lock()
+	blocks := cloneBlocks(j.profBlocks[f.ID])
+	ids := append([]profile.TransID(nil), j.profIDs[f.ID]...)
+	j.mu.Unlock()
 	if len(blocks) > 0 {
-		g := region.BuildTransCFG(blocks, j.profIDs[f.ID], j.Counters)
+		g := region.BuildTransCFG(blocks, ids, j.Counters)
 		regions := region.FormRegions(g, region.FormRegionsConfig{MaxBCInstrs: 200})
 		for _, d := range regions {
 			if d.Entry().Start == 0 {
@@ -287,8 +400,9 @@ func (s argTypeSource) StackType(int) types.Type { return types.TCell }
 // functionOrder implements the C3 clustering heuristic of Ottoni &
 // Maher over the dynamic call graph: clusters merge along the
 // heaviest caller->callee arcs (callee appended after caller) until a
-// size cap, then clusters are emitted by descending hotness.
-func (j *JIT) functionOrder() []int {
+// size cap, then clusters are emitted by descending hotness. profFns
+// seeds singleton clusters for profiled functions with no arcs.
+func (j *JIT) functionOrder(profFns []int) []int {
 	graph := j.Counters.CallGraph()
 	hotness := map[int]uint64{}
 	type arc struct {
@@ -303,10 +417,7 @@ func (j *JIT) functionOrder() []int {
 	}
 	if !j.Cfg.FunctionSort {
 		// Unsorted: stable function-ID order.
-		var ids []int
-		for id := range j.profBlocks {
-			ids = append(ids, id)
-		}
+		ids := append([]int(nil), profFns...)
 		sort.Ints(ids)
 		return ids
 	}
@@ -346,7 +457,7 @@ func (j *JIT) functionOrder() []int {
 		}
 		delete(clusters, ce)
 	}
-	for id := range j.profBlocks {
+	for _, id := range profFns {
 		ensure(id)
 	}
 	// Order clusters by their hottest member.

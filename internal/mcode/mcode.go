@@ -7,6 +7,7 @@ package mcode
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/vasm"
 )
@@ -155,9 +156,10 @@ type Cache struct {
 	used  [AreaCount]uint64
 	next  [AreaCount]uint64
 
-	// HugeBytes of the hot area are mapped with 2 MiB pages when
-	// huge-page mapping is enabled.
-	hugeBytes uint64
+	// hugeBytes of the hot area are mapped with 2 MiB pages when
+	// huge-page mapping is enabled. Atomic: HugeCovers sits on the
+	// instruction-fetch fast path of every worker.
+	hugeBytes atomic.Uint64
 }
 
 // Area base addresses, spaced far apart so areas never collide.
@@ -175,18 +177,14 @@ func NewCache(limit uint64) *Cache {
 
 // SetHugePages maps the first bytes of the hot area onto 2 MiB pages.
 func (c *Cache) SetHugePages(bytes uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hugeBytes = bytes
+	c.hugeBytes.Store(bytes)
 }
 
 // HugeCovers reports whether addr falls in the huge-page-mapped
-// region.
+// region. Lock-free: concurrent fetch models consult it constantly.
 func (c *Cache) HugeCovers(addr uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hugeBytes > 0 && addr >= areaBase[AreaHot] &&
-		addr < areaBase[AreaHot]+c.hugeBytes
+	hb := c.hugeBytes.Load()
+	return hb > 0 && addr >= areaBase[AreaHot] && addr < areaBase[AreaHot]+hb
 }
 
 // Alloc reserves size bytes in an area, returning the base address.

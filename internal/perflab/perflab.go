@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jit"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -81,6 +82,22 @@ func RunEndpoint(eng *core.Engine, name string) (uint64, string, error) {
 	v, err := eng.Call(workload.EndpointFunc(name))
 	eng.Heap().DecRef(v)
 	return eng.Cycles() - before, out.String(), err
+}
+
+// RunEndpointVM executes one request against an endpoint on a
+// specific worker VM (concurrent serving), returning its cycle cost
+// and output. Each worker owns its meter, so costs are per-worker.
+func RunEndpointVM(v *vm.VM, name string) (uint64, string, error) {
+	fn, ok := v.Env.Unit.FuncByName(workload.EndpointFunc(name))
+	if !ok {
+		return 0, "", fmt.Errorf("undefined endpoint %s", name)
+	}
+	var out strings.Builder
+	v.SetOut(&out)
+	before := v.Meter.Cycles
+	val, err := v.CallFunc(fn, nil, nil)
+	v.Heap.DecRef(val)
+	return v.Meter.Cycles - before, out.String(), err
 }
 
 // Measure runs the suite under one JIT configuration.

@@ -107,15 +107,38 @@ func (c *Counters) Inc(id TransID) {
 }
 
 // Add bumps a counter by n (bulk restore path: jumpstart, merging).
+// Counters beyond the allocated slab are allocated rather than
+// silently dropped, so a bulk load whose ordering diverges from
+// counter allocation cannot lose profile data.
 func (c *Counters) Add(id TransID, n uint64) {
-	if n == 0 {
+	if n == 0 || id < 0 {
 		return
 	}
 	slab := *c.slab.Load()
 	if int(id>>chunkShift) >= len(slab) {
-		return
+		c.growTo(id)
+		slab = *c.slab.Load()
 	}
 	atomic.AddUint64(&slab[id>>chunkShift][id&(chunkSize-1)], n)
+}
+
+// growTo extends the slab (and the allocated-counter count) to cover
+// id, so Count/Snapshot see bulk-loaded counters too.
+func (c *Counters) growTo(id TransID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(id) >= c.n {
+		c.n = int(id) + 1
+	}
+	need := (int(id) >> chunkShift) + 1
+	if cur := *c.slab.Load(); len(cur) < need {
+		grown := make([]*chunk, need)
+		copy(grown, cur)
+		for i := len(cur); i < need; i++ {
+			grown[i] = new(chunk)
+		}
+		c.slab.Store(&grown)
+	}
 }
 
 // Count reads a counter.

@@ -102,6 +102,39 @@ func TestConcurrentIncAndGrowth(t *testing.T) {
 	}
 }
 
+// TestAddGrowsSlab is the regression test for the bulk-restore path:
+// Add to a counter id beyond the allocated slab must grow the slab
+// and record the value, not silently drop it. (Jumpstart restores
+// counters in snapshot order, which can run ahead of NewCounter
+// allocation on the restoring side.)
+func TestAddGrowsSlab(t *testing.T) {
+	c := profile.NewCounters()
+	const far = profile.TransID(5000) // well past any allocated chunk
+	c.Add(far, 7)
+	if got := c.Count(far); got != 7 {
+		t.Errorf("Count(%d) = %d, want 7 — Add dropped an out-of-slab counter", far, got)
+	}
+	if n := c.NumCounters(); n < int(far)+1 {
+		t.Errorf("NumCounters = %d, want >= %d after growth", n, far+1)
+	}
+	d := c.Snapshot()
+	if d.Counts[far] != 7 {
+		t.Errorf("snapshot missing grown counter: %v", d.Counts[far])
+	}
+	// Existing counters still work after growth.
+	a := c.NewCounter()
+	c.Inc(a)
+	if c.Count(a) != 1 {
+		t.Errorf("post-growth counter = %d, want 1", c.Count(a))
+	}
+	// Negative and zero adds are ignored, not panics.
+	c.Add(-1, 5)
+	c.Add(far, 0)
+	if got := c.Count(far); got != 7 {
+		t.Errorf("zero add changed counter: %d", got)
+	}
+}
+
 func TestSnapshotMergeWeighted(t *testing.T) {
 	a := profile.NewCounters()
 	i0 := a.NewCounter()

@@ -64,9 +64,17 @@ func BuildTransCFG(blocks []*Block, ids []profile.TransID, counters *profile.Cou
 			}
 		}
 	}
+	// Total order (weight desc, then target index): observed arcs come
+	// off a map, and a weight-only comparison would leave equal-weight
+	// arcs in random relative order — the region former's DFS follows
+	// this order, so ties must break deterministically or region shape
+	// (and emitted code) varies run to run.
 	for i := range g.Succ {
 		sort.Slice(g.Succ[i], func(a, b int) bool {
-			return g.Succ[i][a].Weight > g.Succ[i][b].Weight
+			if g.Succ[i][a].Weight != g.Succ[i][b].Weight {
+				return g.Succ[i][a].Weight > g.Succ[i][b].Weight
+			}
+			return g.Succ[i][a].To < g.Succ[i][b].To
 		})
 	}
 	return g

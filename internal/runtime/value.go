@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -189,14 +190,19 @@ func (s *Str) Refs() int32 { return s.refs }
 func (s *Str) Static() bool { return s.static }
 
 // internTable is the static string table shared by all loaded units.
-var internTable = map[string]*Str{}
+// Interning happens at runtime too (array string keys, LdStr), and
+// worker VMs execute concurrently, so the table is a sync.Map:
+// lock-free reads once a string is warm, append-only writes.
+var internTable sync.Map // string -> *Str
 
 // InternStr returns the shared static string for s.
 func InternStr(s string) *Str {
-	if v, ok := internTable[s]; ok {
-		return v
+	if v, ok := internTable.Load(s); ok {
+		return v.(*Str)
 	}
 	v := &Str{Data: s, refs: 1, static: true}
-	internTable[s] = v
+	if prior, loaded := internTable.LoadOrStore(s, v); loaded {
+		return prior.(*Str)
+	}
 	return v
 }

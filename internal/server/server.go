@@ -12,10 +12,12 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"repro/internal/jit"
 	"repro/internal/jumpstart"
 	"repro/internal/perflab"
+	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -26,8 +28,11 @@ type Sample struct {
 	CodeBytes uint64
 	// RPSPct is throughput relative to steady state (100 = steady).
 	RPSPct float64
-	// Event marks lifecycle points ("A" profiling done, "C" optimized
-	// published, "D" cache full, "J" jumpstarted from a snapshot).
+	// Event holds the lifecycle points reached this minute, in a fixed
+	// "J", "A", "C", "D" order ("J" jumpstarted from a snapshot, "A"
+	// profiling done, "C" optimized published, "D" cache full).
+	// Coincident events all appear: a minute where profiling finishes
+	// and the optimized code is published reads "AC".
 	Event string
 }
 
@@ -51,6 +56,14 @@ type Config struct {
 	FleetWaveMinutes int
 	// Seed for request-mix sampling.
 	Seed int64
+	// Workers is the number of concurrent request workers (simulated
+	// cores). 0 or 1 serves single-threaded — the exact legacy
+	// timeline. With N > 1, N worker VMs share one JIT: each worker
+	// gets a full per-minute cycle budget and its own request stream,
+	// the global retranslation runs on a background compiler
+	// goroutine, and RPSPct is reported against N× the single-core
+	// steady-state throughput.
+	Workers int
 	// Jumpstart, when set, warm-starts the restarted server from a
 	// persisted profile snapshot before it serves its first request:
 	// profiling is skipped and optimized code is published
@@ -101,6 +114,16 @@ type Result struct {
 func Simulate(cfg Config) (*Result, error) {
 	if cfg.Minutes == 0 {
 		cfg = DefaultConfig()
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 {
+		// Request workers must keep serving while the optimizing
+		// compiler runs: hand the global retranslation to a background
+		// goroutine instead of stalling the triggering worker.
+		cfg.JIT.BackgroundCompile = true
 	}
 	// Calibrate steady state with a fully warmed engine.
 	steadyEng, eps, err := perflab.NewEngine(cfg.JIT)
@@ -163,59 +186,108 @@ func Simulate(cfg Config) (*Result, error) {
 		jumpstartCycles = eng.Cycles() - before
 	}
 
-	rng = rand.New(rand.NewSource(cfg.Seed + 1))
+	// Worker pool: worker 0 is the engine's primary VM; extra workers
+	// share its JIT (translation index, counters, code cache) with
+	// private interpreter state. Each worker draws from its own seeded
+	// request stream so multi-worker runs are reproducible.
+	ws := make([]*vm.VM, workers)
+	ws[0] = eng.VM
+	rngs := make([]*rand.Rand, workers)
+	rngs[0] = rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := 1; i < workers; i++ {
+		ws[i] = eng.NewWorker(io.Discard)
+		rngs[i] = rand.New(rand.NewSource(cfg.Seed + 1 + int64(i)))
+	}
+
 	sawOptimize := cfg.Jumpstart != nil && res.JumpstartLoad.Optimized
 	sawProfilingDone := sawOptimize
 	sawFull := false
 	jumpEvent := sawOptimize
 	for minute := 0; minute < cfg.Minutes; minute++ {
-		budget := cfg.CyclesPerMinute
-		if minute == 0 && jumpstartCycles > 0 {
-			if jumpstartCycles >= budget {
-				budget = 0
-			} else {
-				budget -= jumpstartCycles
-			}
-		}
 		// Fleet-wave overload window: load balancers shift traffic of
 		// restarting peers onto this (now warm) server.
 		demand := steadyRPS
 		if minute >= cfg.FleetWaveAt && minute < cfg.FleetWaveAt+cfg.FleetWaveMinutes {
 			demand = steadyRPS * 1.6
 		}
-		served := 0
-		start := eng.Cycles()
-		for float64(served) < demand && eng.Cycles()-start < budget {
-			ep := pick(rng)
-			if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
-				return nil, err
+		budgetFor := func(worker int) uint64 {
+			budget := cfg.CyclesPerMinute
+			// The jumpstart load ran on the primary before serving
+			// started; its cycles come out of worker 0's first minute.
+			if worker == 0 && minute == 0 && jumpstartCycles > 0 {
+				if jumpstartCycles >= budget {
+					return 0
+				}
+				return budget - jumpstartCycles
 			}
-			served++
+			return budget
+		}
+		served := 0
+		if workers == 1 {
+			budget := budgetFor(0)
+			start := eng.Cycles()
+			for float64(served) < demand && eng.Cycles()-start < budget {
+				ep := pick(rngs[0])
+				if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
+					return nil, err
+				}
+				served++
+			}
+		} else {
+			perWorker := make([]int, workers)
+			errs := make([]error, workers)
+			var wg sync.WaitGroup
+			for i := 0; i < workers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					v, budget := ws[i], budgetFor(i)
+					start := v.Meter.Cycles
+					for float64(perWorker[i]) < demand && v.Meter.Cycles-start < budget {
+						ep := pick(rngs[i])
+						if _, _, err := perflab.RunEndpointVM(v, ep.Name); err != nil {
+							errs[i] = err
+							return
+						}
+						perWorker[i]++
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i := range errs {
+				if errs[i] != nil {
+					return nil, errs[i]
+				}
+				served += perWorker[i]
+			}
 		}
 		st := eng.Stats()
 		code := st.BytesProfiling + st.BytesOptimized + st.BytesLive
+		// Coincident lifecycle events are concatenated (fixed J, A, C,
+		// D order), never overwritten. "A" (profiling done) latches
+		// even when the optimize trigger fires the same minute.
 		ev := ""
 		if jumpEvent {
-			ev = "J"
+			ev += "J"
 			jumpEvent = false
 		}
-		if !sawProfilingDone && st.ProfilingTranslations > 0 && st.OptimizeRuns == 0 &&
-			minute >= 1 {
-			ev = "A"
+		if !sawProfilingDone && st.ProfilingTranslations > 0 &&
+			(minute >= 1 || st.OptimizeRuns > 0) {
+			ev += "A"
 			sawProfilingDone = true
 		}
 		if !sawOptimize && st.OptimizeRuns > 0 {
-			ev = "C"
+			ev += "C"
 			sawOptimize = true
 		}
 		if !sawFull && st.CacheFullEvents > 0 {
-			ev = "D"
+			ev += "D"
 			sawFull = true
 		}
 		res.Samples = append(res.Samples, Sample{
 			Minute:    float64(minute + 1),
 			CodeBytes: code,
-			RPSPct:    100 * float64(served) / steadyRPS,
+			RPSPct:    100 * float64(served) / (steadyRPS * float64(workers)),
 			Event:     ev,
 		})
 	}

@@ -15,12 +15,16 @@ import (
 	"repro/internal/runtime"
 )
 
-// VM is one virtual machine instance executing a loaded unit.
+// VM is one virtual machine instance executing a loaded unit. Worker
+// VMs created with NewWorker share a single JIT (translation index,
+// profile counters, code cache) but own their interpreter env, heap,
+// meter, and machine — the mutable per-request state.
 type VM struct {
-	Env   *interp.Env
-	JIT   *jit.JIT
-	Meter *machine.Meter
-	Heap  *runtime.Heap
+	Env     *interp.Env
+	JIT     *jit.JIT
+	Meter   *machine.Meter
+	Heap    *runtime.Heap
+	Machine *machine.Machine
 
 	depth int
 }
@@ -36,12 +40,34 @@ func New(unit *hhbc.Unit, cfg jit.Config, out io.Writer) (*VM, error) {
 	env.Meter = meter
 	v := &VM{Env: env, Heap: heap, Meter: meter}
 	v.JIT = jit.New(cfg, env, meter)
-	v.JIT.Machine.CallGuest = v.CallFunc
-	env.Call = v.CallFunc
-	env.OSRCheck = func(fr *interp.Frame) bool {
+	v.wire()
+	return v, nil
+}
+
+// NewWorker creates an additional VM over an existing JIT: a request
+// worker with its own env/heap/meter/machine executing translations
+// from the shared index. The worker env shares the primary env's
+// linked class table (compiled code embeds *runtime.Class pointers,
+// so class identity must be global).
+func NewWorker(j *jit.JIT, out io.Writer) *VM {
+	heap := runtime.NewHeap()
+	env := interp.NewEnvFrom(j.Env, heap, out)
+	meter := &machine.Meter{}
+	env.Meter = meter
+	v := &VM{Env: env, Heap: heap, Meter: meter, JIT: j}
+	v.wire()
+	return v
+}
+
+// wire builds the per-VM machine and hooks the dispatcher into the
+// interpreter.
+func (v *VM) wire() {
+	v.Machine = machine.New(v.Env, v.Meter, v.JIT.Counters, v.JIT.Cache)
+	v.Machine.CallGuest = v.CallFunc
+	v.Env.Call = v.CallFunc
+	v.Env.OSRCheck = func(fr *interp.Frame) bool {
 		return v.JIT.HasMatch(fr.Fn, fr) || v.JIT.WantsTranslation(fr.Fn, fr)
 	}
-	return v, nil
 }
 
 // SetOut redirects guest output (per request).
@@ -82,7 +108,7 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 	for {
 		var tr *jit.Translation
 		if !skipJIT {
-			tr = v.JIT.Lookup(fr.Fn, fr)
+			tr = v.JIT.Lookup(fr.Fn, fr, v.Meter)
 		}
 		skipJIT = false
 		if tr == nil {
@@ -90,8 +116,7 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 			// with a usable translation.
 			before := v.Meter.Cycles
 			val, err := v.Env.Run(fr)
-			v.JIT.Stats.InterpCycles += v.Meter.Cycles - before
-			v.JIT.Stats.InterpRuns++
+			v.JIT.NoteInterpRun(v.Meter.Cycles - before)
 			if err == interp.ErrOSR {
 				lastProf = nil
 				continue
@@ -114,24 +139,13 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 			// through the translation-service path.
 			v.Meter.Charge(profilingReentryCost)
 		}
-		out := v.JIT.Machine.Exec(tr.Code, fr)
-		execCycles := v.Meter.Cycles - before
-		v.JIT.Stats.MachineCycles += execCycles
-		switch tr.Kind {
-		case jit.ModeTracelet:
-			v.JIT.Stats.MachineCyclesLive += execCycles
-		case jit.ModeProfiling:
-			v.JIT.Stats.MachineCyclesProfiling += execCycles
-		case jit.ModeRegion:
-			v.JIT.Stats.MachineCyclesOptimized += execCycles
-		}
-		v.JIT.Stats.MachineEnters++
-		v.JIT.Stats.GuardFails += uint64(out.GuardFails)
+		out := v.Machine.Exec(tr.Code, fr)
+		v.JIT.NoteMachineExec(tr.Kind, v.Meter.Cycles-before, out.GuardFails)
 		switch out.Kind {
 		case machine.SideExit:
-			v.JIT.Stats.SideExits++
+			v.JIT.NoteSideExit()
 		case machine.BindRequest:
-			v.JIT.Stats.BindRequests++
+			v.JIT.NoteBindRequest()
 			v.Meter.Charge(bindDispatchCost)
 		}
 		switch out.Kind {

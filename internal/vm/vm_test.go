@@ -43,10 +43,10 @@ echo $sum;
 	}
 	// The single invocation must have produced live translations (OSR
 	// happened mid-loop; no second call ever warmed the entry).
-	if v.JIT.Stats.LiveTranslations == 0 {
+	if v.JIT.Stats().LiveTranslations == 0 {
 		t.Error("OSR never entered JITed code inside the loop")
 	}
-	if v.JIT.Stats.MachineEnters == 0 {
+	if v.JIT.Stats().MachineEnters == 0 {
 		t.Error("machine never executed")
 	}
 }
