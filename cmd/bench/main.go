@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|all [-quick] [-workers N]
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|chain|all [-quick] [-workers N] [-json path]
+//
+// With -json, the rows of the machine-readable experiments (fig8 and
+// chain) are also written to the given path as a JSON document, so CI
+// can archive guest-cycles/req, smashed-vs-dispatched bind counts, and
+// host ns/req across runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,16 +22,26 @@ import (
 	"repro/internal/server"
 )
 
+// jsonReport is the -json output document. Only the experiments that
+// actually ran appear; the rest stay null.
+type jsonReport struct {
+	Fig8  []experiments.Fig8Row  `json:"fig8,omitempty"`
+	Chain []experiments.ChainRow `json:"chain,omitempty"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, chain, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
 	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
+	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, chain) to this path")
 	flag.Parse()
 
 	pc := experiments.Full
 	if *quick {
 		pc = experiments.Quick
 	}
+
+	var report jsonReport
 
 	run := func(name string, f func(perflab.Config) error) {
 		if *exp != "all" && *exp != name {
@@ -44,6 +60,7 @@ func main() {
 			return err
 		}
 		experiments.ReportFig8(os.Stdout, rows)
+		report.Fig8 = rows
 		return nil
 	})
 	run("fig9", func(perflab.Config) error {
@@ -84,6 +101,15 @@ func main() {
 		experiments.ReportScaling(os.Stdout, rows)
 		return nil
 	})
+	run("chain", func(pc perflab.Config) error {
+		rows, err := experiments.Chain(pc)
+		if err != nil {
+			return err
+		}
+		experiments.ReportChain(os.Stdout, rows)
+		report.Chain = rows
+		return nil
+	})
 	run("fig10", func(pc perflab.Config) error {
 		rows, err := experiments.Fig10(pc)
 		if err != nil {
@@ -100,4 +126,18 @@ func main() {
 		experiments.ReportFig11(os.Stdout, rows)
 		return nil
 	})
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: marshal json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 }

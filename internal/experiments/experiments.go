@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/jit"
 	"repro/internal/perflab"
@@ -178,6 +179,99 @@ func ReportScaling(w io.Writer, rows []ScalingRow) {
 	fmt.Fprintf(w, "%8s %14s %10s\n", "workers", "req/min", "speedup")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%8d %14.1f %9.2fx\n", r.Workers, r.RPM, r.Speedup)
+	}
+}
+
+// ---------- Direct chaining: smashed transfers vs dispatcher ----------
+
+// ChainRow compares chained and unchained dispatch for one execution
+// mode.
+type ChainRow struct {
+	Mode    string
+	Chained bool
+	// CyclesPerReq is the weighted mean request cost.
+	CyclesPerReq float64
+	// LookupsPerReq is the steady-state (measurement-phase) dispatcher
+	// Lookup rate — chaining's headline metric.
+	LookupsPerReq float64
+	// Chaining activity over the whole run. BindsDispatched counts
+	// bind requests that reached the VM dispatcher (the slow path the
+	// smashed sites bypass).
+	BindsSmashed    uint64
+	BindsDispatched uint64
+	ChainedJumps    uint64
+	ChainedCalls    uint64
+	StaleLinks      uint64
+	LinksSwept      uint64
+	// HostNsPerReq is wall-clock host time per measured request — the
+	// harness's own speed, not the simulated guest cost.
+	HostNsPerReq float64
+}
+
+// Chain measures chained vs unchained dispatch in tracelet and region
+// mode, and verifies the toggle leaves every endpoint's output
+// bit-identical.
+func Chain(pc perflab.Config) ([]ChainRow, error) {
+	modes := []jit.Mode{jit.ModeTracelet, jit.ModeRegion}
+	var rows []ChainRow
+	for _, m := range modes {
+		outputs := map[string][2]string{}
+		for i, on := range []bool{false, true} {
+			cfg := jit.DefaultConfig()
+			cfg.Mode = m
+			cfg.EnableChaining = on
+			start := time.Now()
+			r, err := perflab.Measure(cfg, pc)
+			if err != nil {
+				return nil, fmt.Errorf("chain %s chained=%v: %w", m, on, err)
+			}
+			elapsed := time.Since(start)
+			s := r.JITStats
+			row := ChainRow{
+				Mode: m.String(), Chained: on,
+				CyclesPerReq:    r.WeightedMean,
+				LookupsPerReq:   r.SteadyLookupsPerReq(),
+				BindsSmashed:    s.BindsSmashed,
+				BindsDispatched: s.BindRequests,
+				ChainedJumps:    s.ChainedJumps,
+				ChainedCalls:    s.ChainedCalls,
+				StaleLinks:      s.StaleLinks,
+				LinksSwept:      s.LinksSwept,
+			}
+			if r.MeasuredRequests > 0 {
+				// Whole-run wall time over measured requests: an
+				// approximation, but measured identically on both sides
+				// of the toggle.
+				row.HostNsPerReq = float64(elapsed.Nanoseconds()) / float64(r.MeasuredRequests)
+			}
+			rows = append(rows, row)
+			for _, ep := range r.Endpoints {
+				pair := outputs[ep.Name]
+				pair[i] = ep.Output
+				outputs[ep.Name] = pair
+			}
+		}
+		for name, pair := range outputs {
+			if pair[0] != pair[1] {
+				return nil, fmt.Errorf("chain %s: endpoint %s output differs across chaining toggle",
+					m, name)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// ReportChain renders the comparison.
+func ReportChain(w io.Writer, rows []ChainRow) {
+	fmt.Fprintf(w, "Direct chaining — smashed bind jumps / bound calls vs dispatcher round-trips\n")
+	fmt.Fprintf(w, "%-10s %8s %14s %12s %10s %12s %12s %12s %10s %8s %12s\n",
+		"mode", "chained", "cycles/req", "lookups/req", "smashed", "dispatched",
+		"chained-jmp", "chained-call", "stale", "swept", "host-ns/req")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8v %14.0f %12.2f %10d %12d %12d %12d %10d %8d %12.0f\n",
+			r.Mode, r.Chained, r.CyclesPerReq, r.LookupsPerReq,
+			r.BindsSmashed, r.BindsDispatched, r.ChainedJumps, r.ChainedCalls,
+			r.StaleLinks, r.LinksSwept, r.HostNsPerReq)
 	}
 }
 

@@ -82,6 +82,48 @@ func TestScalingSpeedup(t *testing.T) {
 	}
 }
 
+// TestChainAcceptance is the acceptance criterion for direct
+// chaining: with chaining on, the steady-state dispatcher Lookup rate
+// must drop by at least 10x in both tracelet and region mode, the
+// guest cost must not regress, and every endpoint's output must stay
+// bit-identical across the toggle (Chain itself fails on divergence).
+func TestChainAcceptance(t *testing.T) {
+	rows, err := experiments.Chain(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ReportChain(os.Stderr, rows)
+	byMode := map[string]map[bool]experiments.ChainRow{}
+	for _, r := range rows {
+		if byMode[r.Mode] == nil {
+			byMode[r.Mode] = map[bool]experiments.ChainRow{}
+		}
+		byMode[r.Mode][r.Chained] = r
+	}
+	for mode, pair := range byMode {
+		off, on := pair[false], pair[true]
+		if off.BindsSmashed != 0 || off.ChainedJumps != 0 || off.ChainedCalls != 0 {
+			t.Errorf("%s unchained run shows chaining activity: %+v", mode, off)
+		}
+		if on.BindsSmashed == 0 {
+			t.Errorf("%s chained run never smashed a bind site", mode)
+		}
+		if on.LookupsPerReq <= 0 {
+			t.Errorf("%s chained lookups/req = %.2f, want > 0 (at least entry lookups)",
+				mode, on.LookupsPerReq)
+			continue
+		}
+		if ratio := off.LookupsPerReq / on.LookupsPerReq; ratio < 10 {
+			t.Errorf("%s lookup drop %.1fx (%.2f -> %.2f lookups/req), want >= 10x",
+				mode, ratio, off.LookupsPerReq, on.LookupsPerReq)
+		}
+		if on.CyclesPerReq > off.CyclesPerReq {
+			t.Errorf("%s chaining regressed guest cost: %.0f -> %.0f cycles/req",
+				mode, off.CyclesPerReq, on.CyclesPerReq)
+		}
+	}
+}
+
 // TestFig10Directions checks every ablation slows the system down.
 func TestFig10Directions(t *testing.T) {
 	if testing.Short() {

@@ -72,6 +72,13 @@ type Config struct {
 	FunctionSort bool
 	HugePages    bool
 
+	// EnableChaining turns on direct translation chaining: bind jumps
+	// and direct call sites are smashed with links to their resolved
+	// successor translations, so steady-state transfers stay inside
+	// Machine.Exec instead of round-tripping through the dispatcher
+	// (Sections 2 and 5 — the smashed service requests of the paper).
+	EnableChaining bool
+
 	// BackgroundCompile runs the global retranslation on a dedicated
 	// compiler goroutine (HHVM's JIT worker threads): request workers
 	// keep executing profiling translations until the optimized index
@@ -99,6 +106,7 @@ func DefaultConfig() Config {
 		EnableRCE:            true,
 		EnableGuardRelax:     true,
 		EnableMethodDispatch: true,
+		EnableChaining:       true,
 		PGOLayout:            true,
 		FunctionSort:         true,
 		HugePages:            true,
@@ -123,6 +131,42 @@ type Translation struct {
 	ProfID profile.TransID
 	// Desc is kept for region reuse (inlining) and diagnostics.
 	Desc *region.Desc
+}
+
+// Translation implements machine.ChainTarget: a smashed link holds a
+// *Translation and the machine tail-transfers into it after recheck.
+
+// ChainCode returns the assembled code (machine.ChainTarget).
+func (tr *Translation) ChainCode() *mcode.Code { return tr.Code }
+
+// ChainMatch rechecks entry conditions against the live frame
+// (machine.ChainTarget).
+func (tr *Translation) ChainMatch(fr *interp.Frame) bool { return tr.Matches(fr) }
+
+// ChainGuards is the precondition count, charged per chained transfer
+// (machine.ChainTarget).
+func (tr *Translation) ChainGuards() int { return len(tr.Preconds) }
+
+// Matches checks the translation's dispatcher-visible entry
+// conditions (stack depth + type preconditions) against live frame
+// state. Lock-free; used by the dispatcher and the chaining path.
+func (tr *Translation) Matches(fr *interp.Frame) bool {
+	if tr.EntryDepth != len(fr.Stack) {
+		return false
+	}
+	src := frameTypeSource{fr}
+	for _, g := range tr.Preconds {
+		var t types.Type
+		if g.Loc.Kind == region.LocLocal {
+			t = src.LocalType(g.Loc.Slot)
+		} else {
+			t = src.StackType(g.Loc.Slot)
+		}
+		if !t.SubtypeOf(g.Type) {
+			return false
+		}
+	}
+	return true
 }
 
 type transKey struct {
@@ -167,6 +211,19 @@ type Stats struct {
 	SideExits              uint64
 	BindRequests           uint64
 	InterpRuns             uint64
+
+	// Lookups counts dispatcher Lookup calls — the number chaining is
+	// meant to drive down (steady state: one per request, not one per
+	// block transfer).
+	Lookups uint64
+
+	// Direct-chaining activity (mirrors machine.ChainStats).
+	BindsSmashed    uint64
+	ChainedJumps    uint64
+	ChainedCalls    uint64
+	StaleLinks      uint64
+	ChainMismatches uint64
+	LinksSwept      uint64
 }
 
 // JIT owns the translation cache and compilation pipelines. One JIT
@@ -188,6 +245,15 @@ type JIT struct {
 	// trans is the RCU-published translation index: loads are
 	// lock-free, stores happen under mu on a fresh copy.
 	trans atomic.Pointer[transIndex]
+
+	// epoch is the translation-index version chain links are stamped
+	// with. It advances only when translations are retired (the
+	// OptimizeAll republish); links stamped with an older value are
+	// stale and machines fall back to the dispatch path.
+	epoch atomic.Uint64
+	// Chain aggregates direct-chaining statistics across every worker
+	// machine (each worker's Machine.Chain points here).
+	Chain machine.ChainStats
 
 	// mu is the writer mutex: index publication and the mutable
 	// tables below.
@@ -278,7 +344,42 @@ func (j *JIT) Stats() Stats {
 		SideExits:              ld(&s.SideExits),
 		BindRequests:           ld(&s.BindRequests),
 		InterpRuns:             ld(&s.InterpRuns),
+		Lookups:                ld(&s.Lookups),
+
+		BindsSmashed:    j.Chain.BindsSmashed.Load(),
+		ChainedJumps:    j.Chain.ChainedJumps.Load(),
+		ChainedCalls:    j.Chain.ChainedCalls.Load(),
+		StaleLinks:      j.Chain.StaleLinks.Load(),
+		ChainMismatches: j.Chain.ChainMismatches.Load(),
+		LinksSwept:      j.Chain.LinksSwept.Load(),
 	}
+}
+
+// EpochVar exposes the link-epoch counter for worker machines
+// (Machine.Epoch points here).
+func (j *JIT) EpochVar() *atomic.Uint64 { return &j.epoch }
+
+// Epoch returns the current link-epoch value.
+func (j *JIT) Epoch() uint64 { return j.epoch.Load() }
+
+// Smash binds the smash site (code, instr) — a BindJmp the machine
+// just exited through — to tr, so the next transfer chains directly.
+// No-ops when chaining is off or either side is unchainable
+// (profiling translations bounce through the dispatcher so their
+// counters and arcs keep recording).
+func (j *JIT) Smash(code *mcode.Code, instr int, tr *Translation) {
+	if !j.Cfg.EnableChaining || code == nil || tr == nil {
+		return
+	}
+	if !code.Chainable || tr.Code == nil || !tr.Code.Chainable {
+		return
+	}
+	epoch := j.epoch.Load()
+	if l := code.LoadLink(instr); l != nil && l.Epoch == epoch && l.Target == tr {
+		return
+	}
+	code.StoreLink(instr, &mcode.Link{Epoch: epoch, Target: tr})
+	j.Chain.BindsSmashed.Add(1)
 }
 
 // NoteInterpRun accounts one interpreter stretch (worker hot path).
@@ -326,22 +427,22 @@ func (s frameTypeSource) StackType(depth int) types.Type {
 // guardsMatch checks a translation's preconditions against live frame
 // state.
 func (j *JIT) guardsMatch(tr *Translation, fr *interp.Frame) bool {
-	if tr.EntryDepth != len(fr.Stack) {
-		return false
-	}
-	src := frameTypeSource{fr}
-	for _, g := range tr.Preconds {
-		var t types.Type
-		if g.Loc.Kind == region.LocLocal {
-			t = src.LocalType(g.Loc.Slot)
-		} else {
-			t = src.StackType(g.Loc.Slot)
+	return tr.Matches(fr)
+}
+
+// ChainFallback resolves a transfer whose smashed link's guards
+// missed: it scans the published chain at (fnID, pc) for another
+// matching chainable translation — the in-cache guard cascade of a
+// retranslation cluster — without touching the dispatcher's minting
+// path. Lock-free.
+func (j *JIT) ChainFallback(fnID, pc int, fr *interp.Frame, m *machine.Meter) *Translation {
+	for _, tr := range (*j.trans.Load())[transKey{fnID, pc}] {
+		m.Charge(uint64(3 + 2*len(tr.Preconds)))
+		if tr.Code.Chainable && tr.Matches(fr) {
+			return tr
 		}
-		if !t.SubtypeOf(g.Type) {
-			return false
-		}
 	}
-	return true
+	return nil
 }
 
 // findMatch scans the published chain for a guard-matching
@@ -365,6 +466,7 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 	if j.Cfg.Mode == ModeInterp {
 		return nil
 	}
+	atomic.AddUint64(&j.stats.Lookups, 1)
 	key := transKey{fn.ID, fr.PC}
 	if tr := j.findMatch(key, fr, m); tr != nil {
 		return tr
@@ -441,6 +543,16 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 		j.mu.Unlock()
 		close(done)
 		return tr
+	}
+}
+
+// ForEachTranslation visits every translation in the published index
+// (diagnostics and the chain-invalidation tests).
+func (j *JIT) ForEachTranslation(fn func(tr *Translation)) {
+	for _, chain := range *j.trans.Load() {
+		for _, tr := range chain {
+			fn(tr)
+		}
 	}
 }
 

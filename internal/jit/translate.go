@@ -98,6 +98,10 @@ func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *
 		}
 		return nil
 	}
+	// Live tracelets chain: gen-1's defining trick is smashing their
+	// bind jumps together (profiling translations never chain — see
+	// translateProfiling).
+	code.Chainable = j.Cfg.EnableChaining
 	tr := &Translation{
 		FuncID: fn.ID, PC: fr.PC, Kind: ModeTracelet,
 		Preconds: blk.Preconds, EntryDepth: blk.EntryStackDepth,
@@ -128,6 +132,11 @@ func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame, m *machine.Met
 		}
 		return nil
 	}
+	// Profiling translations are deliberately NOT chainable, in either
+	// direction: every entry must pass through the dispatcher so
+	// RecordArc sees the transfer and the TransCFG stays accurate, and
+	// OptimizeAll retires exactly this kind — keeping them out of links
+	// means no chainable target is ever semantically stale.
 	tr := &Translation{
 		FuncID: fn.ID, PC: fr.PC, Kind: ModeProfiling,
 		Preconds: blk.Preconds, EntryDepth: blk.EntryStackDepth,
@@ -267,6 +276,7 @@ func (j *JIT) OptimizeAll() {
 				ok = false // cache full: this function keeps its profiling code
 				continue
 			}
+			code.Chainable = j.Cfg.EnableChaining
 			entry := desc.Entry()
 			tr := &Translation{
 				FuncID: fr.fnID, PC: entry.Start, Kind: ModeRegion,
@@ -310,11 +320,30 @@ func (j *JIT) OptimizeAll() {
 		idx[key] = append(idx[key], tr)
 	}
 	j.trans.Store(&idx)
-	// Reset entry counts so post-optimization live translation
-	// thresholds start fresh.
+	// Advance the link epoch: the republish retired the profiling
+	// chains, so chain links resolved against the old index must stop
+	// being followed. Readers that loaded a link before the bump see a
+	// stale epoch and fall back to the dispatch path; targets are never
+	// semantically invalid (only unchainable profiling translations
+	// were retired) — the epoch guard is belt-and-braces on top of that
+	// invariant.
+	epoch := j.epoch.Add(1)
 	j.entryCount = map[transKey]uint64{}
 	j.optimized.Store(true)
 	j.mu.Unlock()
+
+	// Treadmill sweep: walk the surviving code and physically clear
+	// every stale-epoch link so old *Translation targets become
+	// collectable and machines stop paying the stale-check fee.
+	swept := 0
+	for _, chain := range idx {
+		for _, tr := range chain {
+			swept += tr.Code.SweepLinks(epoch)
+		}
+	}
+	if swept > 0 {
+		j.Chain.LinksSwept.Add(uint64(swept))
+	}
 
 	if partial > 0 {
 		atomic.AddUint64(&j.stats.PartialPublishFuncs, partial)

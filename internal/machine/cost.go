@@ -118,3 +118,12 @@ const (
 	methodLookupCost   = 16
 	callReturnCost     = 8
 )
+
+// Direct-chaining costs: a smashed bind jump is a single direct
+// branch into the successor (vs the service-request round-trip
+// charged as bindDispatchCost by the VM), plus a per-precondition
+// recheck charge for the target's entry guards.
+const (
+	smashedJumpCost = 2
+	chainGuardCost  = 1
+)

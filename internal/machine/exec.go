@@ -3,6 +3,8 @@ package machine
 import (
 	"fmt"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/hhbc"
 	"repro/internal/interp"
@@ -40,6 +42,53 @@ type Outcome struct {
 	Inline []InlineResume
 	// GuardTrace counts failed in-code guards (diagnostics).
 	GuardFails int
+	// EntryPC is the bytecode pc at which the last-entered translation
+	// began executing. With direct chaining Exec tail-transfers across
+	// translations, so this is NOT necessarily the pc Exec was entered
+	// at; the dispatcher's no-progress (livelock) check compares the
+	// exit pc against it.
+	EntryPC int
+	// BindCode/BindInstr identify the smash site of a BindRequest (the
+	// BindJmp instruction in the exiting translation); the dispatcher
+	// smashes the site to the translation it picks so the next
+	// transfer chains directly. BindCode is nil when the site cannot
+	// be bound (unchainable code, inline exit).
+	BindCode  *mcode.Code
+	BindInstr int
+}
+
+// ChainTarget is a translation seen from the machine's chaining path:
+// enough to tail-transfer into it without consulting the dispatcher.
+// *jit.Translation implements it.
+type ChainTarget interface {
+	// ChainCode is the target's assembled code.
+	ChainCode() *mcode.Code
+	// ChainMatch re-checks the target's entry conditions (stack depth
+	// and type preconditions) against the live frame.
+	ChainMatch(fr *interp.Frame) bool
+	// ChainGuards is the precondition count (cost accounting).
+	ChainGuards() int
+}
+
+// ChainStats counts direct-chaining activity. One instance is shared
+// by every worker machine of a JIT (all fields atomic).
+type ChainStats struct {
+	// BindsSmashed counts smash-site writes (bind jumps and calls).
+	BindsSmashed atomic.Uint64
+	// ChainedJumps counts bind jumps taken through a smashed link,
+	// never returning to the dispatcher.
+	ChainedJumps atomic.Uint64
+	// ChainedCalls counts guest calls entered through a bound callee
+	// link (prologue translation reused without a Lookup).
+	ChainedCalls atomic.Uint64
+	// StaleLinks counts links skipped because their epoch no longer
+	// matches the published translation-index version.
+	StaleLinks atomic.Uint64
+	// ChainMismatches counts links whose target's entry guards failed
+	// against the live frame (fall back to the dispatch path).
+	ChainMismatches atomic.Uint64
+	// LinksSwept counts links cleared by the post-publish treadmill.
+	LinksSwept atomic.Uint64
 }
 
 // InlineResume is one materialized inline frame: run Frame; its
@@ -52,7 +101,12 @@ type InlineResume struct {
 
 // CallGuestFn dispatches a guest call from JITed code back through
 // the VM (which may pick another translation or the interpreter).
-type CallGuestFn func(f *hhbc.Func, this *runtime.Object, args []runtime.Value) (runtime.Value, error)
+// hint, when non-nil, is the call site's smashed callee link: the VM
+// enters it directly when its entry guards match the fresh frame,
+// skipping the dispatcher Lookup. The second return value is the
+// translation the callee actually entered first (nil if it started in
+// the interpreter); the machine smashes the call site with it.
+type CallGuestFn func(f *hhbc.Func, this *runtime.Object, args []runtime.Value, hint ChainTarget) (runtime.Value, ChainTarget, error)
 
 // Machine executes assembled translations.
 type Machine struct {
@@ -65,8 +119,26 @@ type Machine struct {
 	// CallGuest is installed by the VM.
 	CallGuest CallGuestFn
 
+	// Fallback, installed by the VM, scans the published retranslation
+	// cluster at (fnID, pc) for a chainable translation matching fr —
+	// the in-cache guard cascade taken when a smashed link's guards
+	// miss. It must NOT mint translations or touch the dispatcher's
+	// single-flight path. Nil when chaining is unavailable.
+	Fallback func(fnID, pc int, fr *interp.Frame) ChainTarget
+
+	// Epoch points at the JIT's translation-index version counter;
+	// links stamped with an older epoch are stale and fall back to
+	// the dispatch path. Nil disables link following entirely.
+	Epoch *atomic.Uint64
+	// Chain is the JIT-shared chaining statistics sink.
+	Chain *ChainStats
+
 	// methodCache: per-site monomorphic inline caches.
 	methodCache map[int64]methodCacheEnt
+
+	// argBufs is a free-list of call-argument scratch slices (runCall
+	// hot path); it is a stack because guest calls nest.
+	argBufs [][]runtime.Value
 }
 
 type methodCacheEnt struct {
@@ -79,6 +151,7 @@ func New(env *interp.Env, meter *Meter, counters *profile.Counters, cache *mcode
 	m := &Machine{
 		Env: env, Meter: meter, Counters: counters, Cache: cache,
 		Fetch:       NewFetchModel(),
+		Chain:       &ChainStats{},
 		methodCache: map[int64]methodCacheEnt{},
 	}
 	m.Fetch.HugeCovers = cache.HugeCovers
@@ -90,6 +163,41 @@ type activation struct {
 	regs   [vasm.TotalMachineRegs]runtime.Value
 	spills []runtime.Value
 	fr     *interp.Frame
+	// entryPC is the bytecode pc the currently-executing translation
+	// was entered at (updated on every chained transfer).
+	entryPC int
+}
+
+// actPool recycles activations across Exec calls: one machine
+// executes millions of translations per request stream, and the
+// activation (plus its spill slab) dominated per-Exec allocations.
+var actPool = sync.Pool{New: func() any { return new(activation) }}
+
+// bindSpace sizes the activation for code: the spill area and the
+// frame extension for inline-callee locals.
+func (a *activation) bindSpace(code *mcode.Code) {
+	if n := code.NumSpills; n <= cap(a.spills) {
+		a.spills = a.spills[:n]
+	} else {
+		a.spills = make([]runtime.Value, n)
+	}
+	for len(a.fr.Locals) < code.ExtSlots {
+		a.fr.Locals = append(a.fr.Locals, runtime.Uninit())
+	}
+}
+
+// release clears held values (so pooled activations do not pin guest
+// objects) and returns the activation to the pool.
+func (a *activation) release() {
+	for i := range a.regs {
+		a.regs[i] = runtime.Value{}
+	}
+	for i := range a.spills {
+		a.spills[i] = runtime.Value{}
+	}
+	a.spills = a.spills[:0]
+	a.fr = nil
+	actPool.Put(a)
 }
 
 func (a *activation) get(r vasm.Reg) runtime.Value {
@@ -108,18 +216,26 @@ func (a *activation) set(r vasm.Reg, v runtime.Value) {
 }
 
 // Exec runs code against fr until it returns, exits, or throws.
+// Chained bind jumps tail-transfer into successor translations
+// without returning, so one Exec may traverse many translations.
 func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
-	act := &activation{fr: fr}
-	if code.NumSpills > 0 {
-		act.spills = make([]runtime.Value, code.NumSpills)
-	}
-	// Extend the frame for inline-callee locals.
-	for len(fr.Locals) < code.ExtSlots {
-		fr.Locals = append(fr.Locals, runtime.Uninit())
-	}
+	act := actPool.Get().(*activation)
+	act.fr = fr
+	act.entryPC = fr.PC
+	act.bindSpace(code)
+	out := m.exec(code, act)
+	act.release()
+	return out
+}
 
+func (m *Machine) exec(code *mcode.Code, act *activation) Outcome {
+	fr := act.fr
 	h := m.Env.Heap
 	guardFails := 0
+	// chained counts direct transfers taken this Exec; the budget is a
+	// backstop that bounces through the dispatcher (and its livelock
+	// detection) if a chain degenerates into a no-progress cycle.
+	chained := 0
 	// Block 0 is the translation entry; layout may have placed hotter
 	// loop blocks ahead of it.
 	ip := code.BlockIndex[0]
@@ -134,7 +250,8 @@ func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
 	for {
 		if ip >= len(code.Instrs) {
 			return Outcome{Kind: Threw, BCOff: fr.PC, GuardFails: guardFails,
-				Err: runtime.NewError("machine: fell off code end")}
+				EntryPC: act.entryPC,
+				Err:     runtime.NewError("machine: fell off code end")}
 		}
 		in := &code.Instrs[ip]
 		m.Meter.ChargeOp(in.Op, opCost(in.Op)+m.Fetch.Fetch(code.AddrOf(ip)))
@@ -169,24 +286,32 @@ func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
 			if !v.Type().SubtypeOf(in.TypeParam) {
 				guardFails++
 				m.Meter.Charge(guardFailPenalty)
-				if out, done := m.jumpOrExit(code, act, in.Target1, guardFails); done {
-					return out
-				} else {
-					ip = out.BCOff // reused as instr index
+				out, nip, done := m.jumpOrExit(code, act, in.Target1, guardFails)
+				if !done {
+					ip = nip
 					continue
 				}
+				if nc, cip, ok := m.chainFrom(code, nip, act, &out, &chained); ok {
+					code, ip = nc, cip
+					continue
+				}
+				return out
 			}
 		case vasm.GuardCls:
 			v := act.get(in.A)
 			if v.Kind != types.KObj || int64(v.O.Class.ClassID) != in.I64 {
 				guardFails++
 				m.Meter.Charge(guardFailPenalty)
-				if out, done := m.jumpOrExit(code, act, in.Target1, guardFails); done {
-					return out
-				} else {
-					ip = out.BCOff
+				out, nip, done := m.jumpOrExit(code, act, in.Target1, guardFails)
+				if !done {
+					ip = nip
 					continue
 				}
+				if nc, cip, ok := m.chainFrom(code, nip, act, &out, &chained); ok {
+					code, ip = nc, cip
+					continue
+				}
+				return out
 			}
 
 		case vasm.AddI:
@@ -272,7 +397,7 @@ func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
 			}
 
 		case vasm.CallFunc, vasm.CallBuiltin, vasm.CallMethodD, vasm.CallMethodC:
-			res, err := m.runCall(act, in)
+			res, err := m.runCall(code, ip, act, in)
 			if err != nil {
 				out := m.throwTo(code, act, in.Target1, err, guardFails)
 				if out != nil {
@@ -328,21 +453,102 @@ func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
 			m.Meter.Charge(uint64(2 * len(fr.Locals))) // frame teardown
 			fr.Stack = fr.Stack[:0]
 			frameRelease(m.Env, fr)
-			return Outcome{Kind: Returned, Value: v, GuardFails: guardFails}
+			return Outcome{Kind: Returned, Value: v, GuardFails: guardFails,
+				EntryPC: act.entryPC}
 
 		case vasm.Exit:
-			return m.takeExit(act, in.Ex, SideExit, nil, guardFails)
+			out := m.takeExit(act, in.Ex, SideExit, nil, guardFails)
+			if nc, nip, ok := m.chainFrom(code, ip, act, &out, &chained); ok {
+				code, ip = nc, nip
+				continue
+			}
+			return out
 		case vasm.BindJmp:
 			out := m.takeExit(act, in.Ex, BindRequest, nil, guardFails)
 			out.BCOff = int(in.I64)
+			if out.Inline == nil {
+				fr.PC = out.BCOff
+			}
+			if nc, nip, ok := m.chainFrom(code, ip, act, &out, &chained); ok {
+				code, ip = nc, nip
+				continue
+			}
 			return out
 
 		default:
 			return Outcome{Kind: Threw, BCOff: fr.PC, GuardFails: guardFails,
-				Err: runtime.NewError("machine: bad opcode %s", in.Op)}
+				EntryPC: act.entryPC,
+				Err:     runtime.NewError("machine: bad opcode %s", in.Op)}
 		}
 		ip++
 	}
+}
+
+// chainBudget bounds chained transfers per Exec. It is deliberately
+// huge — real loops should stay in the machine — and only exists so a
+// degenerate no-progress chain cycle periodically surfaces at the
+// dispatcher, whose livelock detection can break it.
+const chainBudget = 1 << 20
+
+// chainFrom follows the smash-site link at (code, ip) after an exit
+// resolved the continuation pc: on success the machine tail-transfers
+// into the successor — no dispatcher round-trip, no activation
+// rebuild, a smashed-jump charge instead of the dispatch fee — and
+// (newCode, newIP, true) is returned. On failure the outcome's smash
+// site is marked (when bindable) so the dispatcher smashes it with
+// whatever translation it picks next.
+func (m *Machine) chainFrom(code *mcode.Code, ip int, act *activation, out *Outcome, chained *int) (*mcode.Code, int, bool) {
+	if out.Kind != SideExit && out.Kind != BindRequest {
+		return nil, 0, false
+	}
+	if out.Inline != nil || !code.Chainable {
+		return nil, 0, false
+	}
+	fr := act.fr
+	// No-progress exits (continuation pc == the pc this translation was
+	// entered at) always bounce to the dispatcher: its livelock check
+	// forces an interpreter stretch, exactly as in unchained dispatch.
+	if *chained < chainBudget && fr.PC != act.entryPC {
+		if l := code.LoadLink(ip); l != nil {
+			var target ChainTarget
+			stale := false
+			if m.Epoch == nil || l.Epoch != m.Epoch.Load() {
+				stale = true
+				m.Chain.StaleLinks.Add(1)
+			} else if t, ok := l.Target.(ChainTarget); ok {
+				nc := t.ChainCode()
+				m.Meter.Charge(smashedJumpCost + chainGuardCost*uint64(t.ChainGuards()))
+				if nc.Chainable && t.ChainMatch(fr) {
+					target = t
+				} else {
+					m.Chain.ChainMismatches.Add(1)
+				}
+			}
+			if target == nil && m.Fallback != nil {
+				// The link is stale or its guards missed: cascade
+				// through the published retranslation cluster (guards
+				// chained in the code cache) before bouncing to the
+				// dispatcher. Fallback only returns chainable matches.
+				target = m.Fallback(fr.Fn.ID, fr.PC, fr)
+			}
+			if target != nil {
+				nc := target.ChainCode()
+				if stale && m.Epoch != nil {
+					// Repair the stale link in place (a re-smash) so
+					// later transfers skip the fallback scan.
+					code.StoreLink(ip, &mcode.Link{Epoch: m.Epoch.Load(), Target: target})
+					m.Chain.BindsSmashed.Add(1)
+				}
+				m.Chain.ChainedJumps.Add(1)
+				*chained++
+				act.bindSpace(nc)
+				act.entryPC = fr.PC
+				return nc, nc.BlockIndex[0], true
+			}
+		}
+	}
+	out.BindCode, out.BindInstr = code, ip
+	return nil, 0, false
 }
 
 func (m *Machine) setImm(act *activation, d vasm.Reg, iv vasm.ImmValue) {
@@ -362,21 +568,21 @@ func (m *Machine) setImm(act *activation, d vasm.Reg, iv vasm.ImmValue) {
 	}
 }
 
-// jumpOrExit handles a guard-fail target: a chained block (returns
-// its instruction index via Outcome.BCOff with done=false) or an exit
-// stub block (executes it; done=true).
-func (m *Machine) jumpOrExit(code *mcode.Code, act *activation, target int, guardFails int) (Outcome, bool) {
+// jumpOrExit handles a guard-fail target: a chained block (done=false,
+// resume at instruction index idx) or an exit stub block (done=true,
+// idx is the stub's Exit instruction — the smash site for chaining).
+func (m *Machine) jumpOrExit(code *mcode.Code, act *activation, target int, guardFails int) (out Outcome, idx int, done bool) {
 	idx, ok := code.BlockIndex[target]
 	if !ok {
 		return Outcome{Kind: Threw, Err: runtime.NewError("machine: bad guard target"),
-			GuardFails: guardFails}, true
+			GuardFails: guardFails, EntryPC: act.entryPC}, 0, true
 	}
 	// Exit stubs consist of a single Exit instruction.
 	if idx < len(code.Instrs) && code.Instrs[idx].Op == vasm.Exit {
 		m.Meter.Charge(opCost(vasm.Exit))
-		return m.takeExit(act, code.Instrs[idx].Ex, SideExit, nil, guardFails), true
+		return m.takeExit(act, code.Instrs[idx].Ex, SideExit, nil, guardFails), idx, true
 	}
-	return Outcome{BCOff: idx}, false
+	return Outcome{}, idx, false
 }
 
 // throwTo routes a guest error through the instruction's catch stub,
@@ -397,7 +603,7 @@ func (m *Machine) throwTo(code *mcode.Code, act *activation, stub int, err error
 // takeExit materializes VM state per the exit descriptor.
 func (m *Machine) takeExit(act *activation, ex *vasm.ExitInfo, kind OutcomeKind, err error, guardFails int) Outcome {
 	fr := act.fr
-	out := Outcome{Kind: kind, Err: err, GuardFails: guardFails}
+	out := Outcome{Kind: kind, Err: err, GuardFails: guardFails, EntryPC: act.entryPC}
 	if ex == nil {
 		out.BCOff = fr.PC
 		fr.Stack = fr.Stack[:0]

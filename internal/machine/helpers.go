@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hhbc"
 	"repro/internal/interp"
+	"repro/internal/mcode"
 	"repro/internal/runtime"
 	"repro/internal/types"
 	"repro/internal/vasm"
@@ -307,27 +308,80 @@ func setFrameIter(fr *interp.Frame, id int32, it *runtime.Iter) {
 	fr.Iters[id] = it
 }
 
+// takeArgs copies the call's argument registers into a pooled scratch
+// slice (returned to the free list with putArgs once the callee has
+// consumed it). The list is a stack because guest calls nest.
+func (m *Machine) takeArgs(act *activation, regs []vasm.Reg, skip int) []runtime.Value {
+	var buf []runtime.Value
+	if k := len(m.argBufs); k > 0 {
+		buf = m.argBufs[k-1][:0]
+		m.argBufs = m.argBufs[:k-1]
+	}
+	for _, r := range regs[skip:] {
+		buf = append(buf, act.get(r))
+	}
+	return buf
+}
+
+func (m *Machine) putArgs(buf []runtime.Value) {
+	m.argBufs = append(m.argBufs, buf[:0])
+}
+
+// callHint reads the call site's smashed callee link, if fresh.
+func (m *Machine) callHint(code *mcode.Code, ip int) ChainTarget {
+	if !code.Chainable || m.Epoch == nil {
+		return nil
+	}
+	l := code.LoadLink(ip)
+	if l == nil {
+		return nil
+	}
+	if l.Epoch != m.Epoch.Load() {
+		m.Chain.StaleLinks.Add(1)
+		return nil
+	}
+	t, _ := l.Target.(ChainTarget)
+	return t
+}
+
+// smashCall binds a direct call site to the callee prologue
+// translation the dispatcher just entered, so the next call transfers
+// into it without a Lookup.
+func (m *Machine) smashCall(code *mcode.Code, ip int, entered ChainTarget) {
+	if entered == nil || !code.Chainable || m.Epoch == nil {
+		return
+	}
+	if cc := entered.ChainCode(); cc == nil || !cc.Chainable {
+		return
+	}
+	epoch := m.Epoch.Load()
+	if l := code.LoadLink(ip); l != nil && l.Target == entered && l.Epoch == epoch {
+		return // already bound to this target
+	}
+	code.StoreLink(ip, &mcode.Link{Epoch: epoch, Target: entered})
+	m.Chain.BindsSmashed.Add(1)
+}
+
 // runCall dispatches guest calls from JITed code. Calls consume the
 // argument references (and for methods, NOT the receiver's — the
-// caller releases it, matching the interpreter).
-func (m *Machine) runCall(act *activation, in *vasm.Instr) (runtime.Value, error) {
+// caller releases it, matching the interpreter). Direct call sites
+// (CallFunc / CallMethodD) are smash sites: the first dispatch binds
+// them to the callee's prologue translation.
+func (m *Machine) runCall(code *mcode.Code, ip int, act *activation, in *vasm.Instr) (runtime.Value, error) {
 	env := m.Env
 	switch in.Op {
 	case vasm.CallFunc:
-		args := make([]runtime.Value, len(in.Args))
-		for i := range in.Args {
-			args[i] = act.get(in.Args[i])
-		}
+		args := m.takeArgs(act, in.Args, 0)
 		f := env.Unit.Funcs[in.I64]
 		if m.Counters != nil {
 			m.Counters.RecordCall(act.fr.Fn.ID, f.ID)
 		}
-		return m.CallGuest(f, nil, args)
+		ret, entered, err := m.CallGuest(f, nil, args, m.callHint(code, ip))
+		m.smashCall(code, ip, entered)
+		m.putArgs(args)
+		return ret, err
 	case vasm.CallBuiltin:
-		args := make([]runtime.Value, len(in.Args))
-		for i := range in.Args {
-			args[i] = act.get(in.Args[i])
-		}
+		args := m.takeArgs(act, in.Args, 0)
 		if b, ok := runtime.LookupBuiltin(in.Str); ok {
 			m.Meter.Charge(b.Cost)
 			ctx := &runtime.BuiltinCtx{Heap: env.Heap, Out: env.Out}
@@ -335,37 +389,39 @@ func (m *Machine) runCall(act *activation, in *vasm.Instr) (runtime.Value, error
 			for _, a := range args {
 				env.Heap.DecRef(a)
 			}
+			m.putArgs(args)
 			return ret, err
 		}
 		// A user function shadowing an unresolved direct call.
 		if f, ok := env.Unit.FuncByName(in.Str); ok {
-			return m.CallGuest(f, nil, args)
+			ret, _, err := m.CallGuest(f, nil, args, nil)
+			m.putArgs(args)
+			return ret, err
 		}
 		for _, a := range args {
 			env.Heap.DecRef(a)
 		}
+		m.putArgs(args)
 		return runtime.Null(), runtime.NewError("call to undefined function %s()", in.Str)
 	case vasm.CallMethodD:
 		obj := act.get(in.Args[0])
-		args := make([]runtime.Value, len(in.Args)-1)
-		for i := 1; i < len(in.Args); i++ {
-			args[i-1] = act.get(in.Args[i])
-		}
+		args := m.takeArgs(act, in.Args, 1)
 		f := env.Unit.Funcs[in.I64]
 		if m.Counters != nil {
 			m.Counters.RecordCall(act.fr.Fn.ID, f.ID)
 		}
-		return m.CallGuest(f, obj.O, args)
+		ret, entered, err := m.CallGuest(f, obj.O, args, m.callHint(code, ip))
+		m.smashCall(code, ip, entered)
+		m.putArgs(args)
+		return ret, err
 	case vasm.CallMethodC:
 		obj := act.get(in.Args[0])
-		args := make([]runtime.Value, len(in.Args)-1)
-		for i := 1; i < len(in.Args); i++ {
-			args[i-1] = act.get(in.Args[i])
-		}
+		args := m.takeArgs(act, in.Args, 1)
 		if obj.Kind != types.KObj {
 			for _, a := range args {
 				env.Heap.DecRef(a)
 			}
+			m.putArgs(args)
 			return runtime.Null(), runtime.NewError("method call on non-object")
 		}
 		// Inline cache: monomorphic per call site (site -1 = caching
@@ -378,14 +434,12 @@ func (m *Machine) runCall(act *activation, in *vasm.Instr) (runtime.Value, error
 			m.Meter.Charge(methodLookupCost)
 			id, ok := obj.O.Class.LookupMethod(in.Str)
 			if !ok {
-				if in.Str == "__construct" {
-					for _, a := range args {
-						env.Heap.DecRef(a)
-					}
-					return runtime.Null(), nil
-				}
 				for _, a := range args {
 					env.Heap.DecRef(a)
+				}
+				m.putArgs(args)
+				if in.Str == "__construct" {
+					return runtime.Null(), nil
 				}
 				return runtime.Null(), runtime.NewError("call to undefined method %s::%s()",
 					obj.O.Class.Name, in.Str)
@@ -399,7 +453,9 @@ func (m *Machine) runCall(act *activation, in *vasm.Instr) (runtime.Value, error
 		if m.Counters != nil {
 			m.Counters.RecordCall(act.fr.Fn.ID, f.ID)
 		}
-		return m.CallGuest(f, obj.O, args)
+		ret, _, err := m.CallGuest(f, obj.O, args, nil)
+		m.putArgs(args)
+		return ret, err
 	}
 	return runtime.Null(), runtime.NewError("machine: bad call op")
 }

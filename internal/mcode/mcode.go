@@ -33,6 +33,71 @@ type Code struct {
 	// Base and Size give the translation's placement.
 	Base uint64
 	Size uint64
+
+	// Chainable marks translations that participate in direct
+	// chaining: their smash sites may be bound and they may be chained
+	// into. Profiling translations are never chainable (every entry
+	// must go through the dispatcher so counters and arcs are
+	// recorded), and the JIT clears it globally when chaining is
+	// disabled.
+	Chainable bool
+	// links is the smash-site slab: links[i] is the published direct
+	// target of the smashable instruction at Instrs[i] (BindJmp and
+	// direct-call sites), nil until the first transfer resolves it.
+	// Slots are read lock-free by every worker on the hot path and
+	// overwritten wholesale by smashing/sweeping, never mutated.
+	links []atomic.Pointer[Link]
+}
+
+// Link is one smashed jump or call site's published target: a direct
+// transfer into a successor translation that bypasses the dispatcher.
+// Epoch stamps the translation-index version the link was resolved
+// against; followers must revalidate it and fall back to the dispatch
+// path when stale. Target is opaque at this layer (the machine layer
+// type-asserts it to its ChainTarget interface).
+type Link struct {
+	Epoch  uint64
+	Target any
+}
+
+// LoadLink returns the published link of smash site i (nil if the
+// site is unbound or i has no slot). Lock-free.
+func (c *Code) LoadLink(i int) *Link {
+	if i >= len(c.links) {
+		return nil
+	}
+	return c.links[i].Load()
+}
+
+// StoreLink smashes site i to l. Storing nil unbinds the site.
+func (c *Code) StoreLink(i int, l *Link) {
+	if i < len(c.links) {
+		c.links[i].Store(l)
+	}
+}
+
+// SweepLinks clears every link whose epoch differs from epoch (the
+// treadmill pass run after an index republish) and returns the number
+// of links cleared.
+func (c *Code) SweepLinks(epoch uint64) int {
+	cleared := 0
+	for i := range c.links {
+		if l := c.links[i].Load(); l != nil && l.Epoch != epoch {
+			c.links[i].Store(nil)
+			cleared++
+		}
+	}
+	return cleared
+}
+
+// ForEachLink visits every bound smash site (diagnostics and the
+// invalidation tests).
+func (c *Code) ForEachLink(fn func(instr int, l *Link)) {
+	for i := range c.links {
+		if l := c.links[i].Load(); l != nil {
+			fn(i, l)
+		}
+	}
 }
 
 // instrSize models encoded instruction sizes (bytes) for address
@@ -120,6 +185,15 @@ func Assemble(u *vasm.Unit) *Code {
 				c.Instrs[i].I64, len(c.Imms), u.String()))
 		}
 	}
+	// Smash-site identity: any smashable instruction (bind jumps and
+	// direct call sites) gets a stable link slot addressed by its
+	// index in the flattened stream.
+	for i := range c.Instrs {
+		if c.Instrs[i].Op.Smashable() {
+			c.links = make([]atomic.Pointer[Link], len(c.Instrs))
+			break
+		}
+	}
 	return c
 }
 
@@ -160,6 +234,11 @@ type Cache struct {
 	// huge-page mapping is enabled. Atomic: HugeCovers sits on the
 	// instruction-fetch fast path of every worker.
 	hugeBytes atomic.Uint64
+
+	// freeUnderflows counts Free calls that tried to return more
+	// bytes than the area held (a bookkeeping bug upstream; the free
+	// is clamped rather than ignored).
+	freeUnderflows uint64
 }
 
 // Area base addresses, spaced far apart so areas never collide.
@@ -203,13 +282,29 @@ func (c *Cache) Alloc(area Area, size uint64) (uint64, error) {
 }
 
 // Free returns bytes to the budget (profiling code is discarded after
-// the optimized translations are published).
+// the optimized translations are published). Oversized frees clamp to
+// the area's remaining bytes (counted in FreeUnderflows) instead of
+// being silently ignored, and fully retiring an area resets its bump
+// pointer so the address space is actually recycled.
 func (c *Cache) Free(area Area, size uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.used[area] >= size {
-		c.used[area] -= size
+	if size > c.used[area] {
+		c.freeUnderflows++
+		size = c.used[area]
 	}
+	c.used[area] -= size
+	if c.used[area] == 0 {
+		c.next[area] = 0
+	}
+}
+
+// FreeUnderflows reports how many Free calls exceeded an area's
+// allocated bytes and were clamped.
+func (c *Cache) FreeUnderflows() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.freeUnderflows
 }
 
 // ResetArea clears an area's allocation point (relocation pass).

@@ -4,6 +4,8 @@ import (
 	"testing"
 
 	"repro/internal/mcode"
+	"repro/internal/types"
+	"repro/internal/vasm"
 )
 
 func TestCacheBudget(t *testing.T) {
@@ -57,5 +59,151 @@ func TestSequentialAddresses(t *testing.T) {
 	b, _ := c.Alloc(mcode.AreaHot, 100)
 	if b != a+100 {
 		t.Errorf("bump allocation not sequential: %x then %x", a, b)
+	}
+}
+
+func TestFreeClampsOversizedAndCountsUnderflow(t *testing.T) {
+	c := mcode.NewCache(0)
+	if _, err := c.Alloc(mcode.AreaProfile, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Freeing more than the area holds must clamp to the allocated
+	// bytes, not wrap the unsigned counter around.
+	c.Free(mcode.AreaProfile, 150)
+	if got := c.AreaUsed(mcode.AreaProfile); got != 0 {
+		t.Errorf("AreaUsed after oversized free = %d, want 0", got)
+	}
+	if got := c.TotalUsed(); got != 0 {
+		t.Errorf("TotalUsed after oversized free = %d, want 0", got)
+	}
+	if got := c.FreeUnderflows(); got != 1 {
+		t.Errorf("FreeUnderflows = %d, want 1", got)
+	}
+	// An exact free is not an underflow.
+	if _, err := c.Alloc(mcode.AreaProfile, 40); err != nil {
+		t.Fatal(err)
+	}
+	c.Free(mcode.AreaProfile, 40)
+	if got := c.FreeUnderflows(); got != 1 {
+		t.Errorf("FreeUnderflows after exact free = %d, want still 1", got)
+	}
+}
+
+func TestFreeRecyclesBumpPointerWhenAreaRetires(t *testing.T) {
+	c := mcode.NewCache(0)
+	base1, err := c.Alloc(mcode.AreaProfile, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, err := c.Alloc(mcode.AreaProfile, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 != base1+64 {
+		t.Fatalf("second alloc at %#x, want %#x", base2, base1+64)
+	}
+	// Retire half: the bump pointer must NOT move (live code remains).
+	c.Free(mcode.AreaProfile, 64)
+	base3, err := c.Alloc(mcode.AreaProfile, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base3 != base2+64 {
+		t.Fatalf("alloc after partial free at %#x, want %#x (no recycle)", base3, base2+64)
+	}
+	// Retire everything: the address space is recycled.
+	c.Free(mcode.AreaProfile, 64+32)
+	base4, err := c.Alloc(mcode.AreaProfile, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base4 != base1 {
+		t.Fatalf("alloc after full retire at %#x, want area base %#x", base4, base1)
+	}
+	// Recycling the profile area must not disturb other areas.
+	if got := c.AreaUsed(mcode.AreaHot); got != 0 {
+		t.Errorf("AreaUsed(hot) = %d, want 0", got)
+	}
+}
+
+// assembleWithSites builds a two-block unit whose first block ends in
+// a smashable BindJmp (instruction index 1).
+func assembleWithSites(t *testing.T) *mcode.Code {
+	t.Helper()
+	u := &vasm.Unit{
+		Blocks: []*vasm.Block{
+			{ID: 0, Instrs: []vasm.Instr{
+				{Op: vasm.LdImm, D: 0, A: vasm.InvalidReg, B: vasm.InvalidReg},
+				{Op: vasm.BindJmp, D: vasm.InvalidReg, A: vasm.InvalidReg, B: vasm.InvalidReg,
+					I64: 0, Ex: &vasm.ExitInfo{BCOff: 7}},
+			}},
+			{ID: 1, Instrs: []vasm.Instr{
+				{Op: vasm.Ret, D: vasm.InvalidReg, A: 0, B: vasm.InvalidReg},
+			}},
+		},
+		Imms: []vasm.ImmValue{{Kind: types.KInt, I: 1}},
+	}
+	return mcode.Assemble(u)
+}
+
+func TestLinkSlabStoreLoadSweep(t *testing.T) {
+	c := assembleWithSites(t)
+	if c.LoadLink(1) != nil {
+		t.Fatal("fresh smash site should be unbound")
+	}
+	c.StoreLink(1, &mcode.Link{Epoch: 1, Target: "succ"})
+	l := c.LoadLink(1)
+	if l == nil || l.Epoch != 1 || l.Target != "succ" {
+		t.Fatalf("LoadLink after store = %+v", l)
+	}
+	// Sweeping with the link's own epoch keeps it.
+	if swept := c.SweepLinks(1); swept != 0 {
+		t.Errorf("SweepLinks(same epoch) cleared %d links, want 0", swept)
+	}
+	if c.LoadLink(1) == nil {
+		t.Fatal("current-epoch link must survive the sweep")
+	}
+	// A republish bumps the epoch; the stale link must go.
+	if swept := c.SweepLinks(2); swept != 1 {
+		t.Errorf("SweepLinks(new epoch) cleared %d links, want 1", swept)
+	}
+	if c.LoadLink(1) != nil {
+		t.Fatal("stale link survived the treadmill sweep")
+	}
+	// Out-of-range loads and stores are harmless no-ops.
+	if c.LoadLink(99) != nil {
+		t.Error("out-of-range LoadLink should return nil")
+	}
+	c.StoreLink(99, &mcode.Link{Epoch: 2})
+
+	c.StoreLink(1, &mcode.Link{Epoch: 2})
+	count := 0
+	c.ForEachLink(func(i int, l *mcode.Link) {
+		count++
+		if i != 1 || l.Epoch != 2 {
+			t.Errorf("ForEachLink visited (%d, epoch %d), want (1, 2)", i, l.Epoch)
+		}
+	})
+	if count != 1 {
+		t.Errorf("ForEachLink visited %d links, want 1", count)
+	}
+}
+
+func TestAssembleSlabOnlyForSmashSites(t *testing.T) {
+	// A translation without smash sites carries no slab: stores are
+	// no-ops and nothing is ever bound.
+	plain := mcode.Assemble(&vasm.Unit{
+		Blocks: []*vasm.Block{{ID: 0, Instrs: []vasm.Instr{
+			{Op: vasm.Ret, D: vasm.InvalidReg, A: 0, B: vasm.InvalidReg},
+		}}},
+	})
+	plain.StoreLink(0, &mcode.Link{Epoch: 1})
+	if plain.LoadLink(0) != nil {
+		t.Error("slab-less translation accepted a link")
+	}
+	visited := false
+	plain.ForEachLink(func(int, *mcode.Link) { visited = true })
+	if visited {
+		t.Error("slab-less translation visited a link")
 	}
 }

@@ -55,8 +55,23 @@ type Result struct {
 	WeightedMean float64
 	// JITStats after warmup+measurement.
 	JITStats jit.Stats
+	// WarmStats is the snapshot taken between warmup and measurement:
+	// steady-state per-request rates (dispatcher lookups, chained
+	// jumps, ...) are (JITStats - WarmStats) / MeasuredRequests.
+	WarmStats jit.Stats
+	// MeasuredRequests counts requests in the measurement phase.
+	MeasuredRequests int
 	// CodeBytes is the steady-state JITed code footprint.
 	CodeBytes uint64
+}
+
+// SteadyLookupsPerReq is the measurement-phase dispatcher Lookup rate
+// — the number direct chaining drives toward one per request.
+func (r *Result) SteadyLookupsPerReq() float64 {
+	if r.MeasuredRequests == 0 {
+		return 0
+	}
+	return float64(r.JITStats.Lookups-r.WarmStats.Lookups) / float64(r.MeasuredRequests)
 }
 
 // NewEngine builds a fresh engine over the combined site unit.
@@ -137,7 +152,7 @@ func Measure(cfg jit.Config, pc Config) (*Result, error) {
 	// Measurement: endpoints interleave round-robin, the way mixed
 	// production traffic hits a server (this keeps the instruction
 	// working set honest for the locality experiments).
-	res := &Result{}
+	res := &Result{WarmStats: eng.Stats()}
 	var wsum float64
 	byName := map[string]*EndpointResult{}
 	for _, ep := range eps {
@@ -167,6 +182,7 @@ func Measure(cfg jit.Config, pc Config) (*Result, error) {
 		res.WeightedMean /= wsum
 	}
 	res.JITStats = eng.Stats()
+	res.MeasuredRequests = pc.MeasureRequests * len(eps)
 	res.CodeBytes = res.JITStats.BytesOptimized + res.JITStats.BytesLive
 	return res, nil
 }

@@ -108,6 +108,12 @@ type Result struct {
 	// JumpstartLoad reports snapshot acceptance when Config.Jumpstart
 	// was set.
 	JumpstartLoad jit.JumpstartResult
+	// Direct-chaining activity over the run: smash sites bound,
+	// transfers that stayed inside the code cache (jumps + calls),
+	// and links invalidated by the optimized-index publish.
+	BindsSmashed     uint64
+	ChainedTransfers uint64
+	LinksSwept       uint64
 }
 
 // Simulate runs the restart timeline.
@@ -298,6 +304,9 @@ func Simulate(cfg Config) (*Result, error) {
 	if denom := st.MachineCyclesLive + st.MachineCyclesOptimized; denom > 0 {
 		res.PctTimeInLiveCode = 100 * float64(st.MachineCyclesLive) / float64(denom)
 	}
+	res.BindsSmashed = st.BindsSmashed
+	res.ChainedTransfers = st.ChainedJumps + st.ChainedCalls
+	res.LinksSwept = st.LinksSwept
 	res.MinutesTo90 = -1
 	for _, s := range res.Samples {
 		if s.RPSPct >= 90 {
@@ -347,5 +356,9 @@ func Report(w io.Writer, r *Result) {
 	if jl := r.JumpstartLoad; jl.LoadedTrans > 0 || len(jl.StaleFuncs) > 0 {
 		fmt.Fprintf(w, "jumpstart: %d funcs, %d translations loaded; %d stale, %d unknown\n",
 			jl.LoadedFuncs, jl.LoadedTrans, len(jl.StaleFuncs), len(jl.UnknownFuncs))
+	}
+	if r.BindsSmashed > 0 {
+		fmt.Fprintf(w, "chaining: %d sites smashed, %d direct transfers, %d links swept at publish\n",
+			r.BindsSmashed, r.ChainedTransfers, r.LinksSwept)
 	}
 }

@@ -125,6 +125,16 @@ func (o Op) String() string {
 	return "op?"
 }
 
+// Smashable reports whether the instruction is a smash site: a
+// cross-translation transfer whose machine code holds a patchable
+// jump or call that the runtime can rebind to a direct successor
+// (bind jumps, side-exit stubs, and direct guest calls bound to
+// callee prologues). Dynamic method calls (CallMethodC) resolve the
+// callee per receiver and keep their inline cache instead.
+func (o Op) Smashable() bool {
+	return o == BindJmp || o == Exit || o == CallFunc || o == CallMethodD
+}
+
 // ExitInfo describes how to materialize VM state when leaving JITed
 // code at this point.
 type ExitInfo struct {

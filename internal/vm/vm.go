@@ -12,6 +12,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/jit"
 	"repro/internal/machine"
+	"repro/internal/mcode"
 	"repro/internal/runtime"
 )
 
@@ -63,7 +64,15 @@ func NewWorker(j *jit.JIT, out io.Writer) *VM {
 // interpreter.
 func (v *VM) wire() {
 	v.Machine = machine.New(v.Env, v.Meter, v.JIT.Counters, v.JIT.Cache)
-	v.Machine.CallGuest = v.CallFunc
+	v.Machine.CallGuest = v.callFromJIT
+	v.Machine.Epoch = v.JIT.EpochVar()
+	v.Machine.Chain = &v.JIT.Chain
+	v.Machine.Fallback = func(fnID, pc int, fr *interp.Frame) machine.ChainTarget {
+		if tr := v.JIT.ChainFallback(fnID, pc, fr, v.Meter); tr != nil {
+			return tr
+		}
+		return nil
+	}
 	v.Env.Call = v.CallFunc
 	v.Env.OSRCheck = func(fr *interp.Frame) bool {
 		return v.JIT.HasMatch(fr.Fn, fr) || v.JIT.WantsTranslation(fr.Fn, fr)
@@ -84,36 +93,86 @@ func (v *VM) RunMain() (runtime.Value, error) {
 // CallFunc is the dispatcher: every guest call (from the interpreter,
 // from JITed code, and from the host) lands here.
 func (v *VM) CallFunc(f *hhbc.Func, this *runtime.Object, args []runtime.Value) (runtime.Value, error) {
+	val, _, err := v.call(f, this, args, nil)
+	return val, err
+}
+
+// callFromJIT implements machine.CallGuestFn: guest calls issued by
+// JITed code carry the call site's smashed callee link as a hint and
+// learn which translation the callee entered first (the machine
+// smashes the site with it).
+func (v *VM) callFromJIT(f *hhbc.Func, this *runtime.Object, args []runtime.Value,
+	hint machine.ChainTarget) (runtime.Value, machine.ChainTarget, error) {
+	val, first, err := v.call(f, this, args, hint)
+	if first == nil {
+		return val, nil, err
+	}
+	return val, first, err
+}
+
+func (v *VM) call(f *hhbc.Func, this *runtime.Object, args []runtime.Value,
+	hint machine.ChainTarget) (runtime.Value, *jit.Translation, error) {
 	if v.depth >= v.Env.MaxDepth {
 		for _, a := range args {
 			v.Heap.DecRef(a)
 		}
-		return runtime.Null(), runtime.NewError("maximum call depth exceeded")
+		return runtime.Null(), nil, runtime.NewError("maximum call depth exceeded")
 	}
 	v.depth++
 	defer func() { v.depth-- }()
 
 	v.JIT.OnEntry()
 	fr := interp.NewFrame(v.Env, f, this, args)
-	return v.runFrame(fr, nil)
+	// A bound call site skips the dispatcher Lookup entirely when the
+	// callee prologue translation still matches the fresh frame. On a
+	// guard miss the in-cache retranslation cluster is cascaded before
+	// falling back to the dispatcher.
+	var tr0 *jit.Translation
+	if t, ok := hint.(*jit.Translation); ok {
+		if t.FuncID == f.ID && t.PC == fr.PC && t.Matches(fr) {
+			tr0 = t
+		} else {
+			v.Machine.Chain.ChainMismatches.Add(1)
+			tr0 = v.JIT.ChainFallback(f.ID, fr.PC, fr, v.Meter)
+		}
+		if tr0 != nil {
+			v.Machine.Chain.ChainedCalls.Add(1)
+		}
+	}
+	return v.runFrame(fr, nil, tr0)
 }
 
 // runFrame drives one activation to completion, alternating between
-// JITed code and the interpreter.
-func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Value, error) {
+// JITed code and the interpreter. tr0, when non-nil, is a pre-matched
+// translation entered without a Lookup (a smashed call link). The
+// second return value is the translation the frame entered first, nil
+// if the first stretch ran in the interpreter — callers use it to bind
+// call sites.
+func (v *VM) runFrame(fr *interp.Frame, lastProf, tr0 *jit.Translation) (runtime.Value, *jit.Translation, error) {
 	// skipJIT forces one interpreter stretch after a translation
 	// exits without making progress (e.g. its first instruction side
 	// exits), preventing a dispatch livelock.
 	skipJIT := false
+	var first *jit.Translation
+	firstIter := true
+	// Pending smash site: the BindJmp the previous translation exited
+	// through. Whatever translation the dispatcher picks next for this
+	// pc gets smashed into it.
+	var bindCode *mcode.Code
+	var bindInstr int
 	for {
 		var tr *jit.Translation
-		if !skipJIT {
+		if tr0 != nil {
+			tr, tr0 = tr0, nil
+		} else if !skipJIT {
 			tr = v.JIT.Lookup(fr.Fn, fr, v.Meter)
 		}
 		skipJIT = false
 		if tr == nil {
+			bindCode = nil
 			// Interpret until return, uncaught error, or an OSR point
 			// with a usable translation.
+			firstIter = false
 			before := v.Meter.Cycles
 			val, err := v.Env.Run(fr)
 			v.JIT.NoteInterpRun(v.Meter.Cycles - before)
@@ -121,7 +180,17 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 				lastProf = nil
 				continue
 			}
-			return val, err
+			return val, first, err
+		}
+		if firstIter {
+			first = tr
+			firstIter = false
+		}
+		if bindCode != nil {
+			// Smash the exit site of the previous translation with the
+			// dispatcher's pick: the next transfer chains directly.
+			v.JIT.Smash(bindCode, bindInstr, tr)
+			bindCode = nil
 		}
 		if lastProf != nil {
 			v.JIT.RecordArc(lastProf, tr)
@@ -132,7 +201,6 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 			lastProf = nil
 		}
 
-		entryPC := fr.PC
 		before := v.Meter.Cycles
 		if tr.Kind == jit.ModeProfiling {
 			// Profiling translations are unchained: every entry goes
@@ -144,15 +212,21 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 		switch out.Kind {
 		case machine.SideExit:
 			v.JIT.NoteSideExit()
+			bindCode, bindInstr = out.BindCode, out.BindInstr
 		case machine.BindRequest:
 			v.JIT.NoteBindRequest()
 			v.Meter.Charge(bindDispatchCost)
+			bindCode, bindInstr = out.BindCode, out.BindInstr
 		}
 		switch out.Kind {
 		case machine.Returned:
-			return out.Value, nil
+			return out.Value, first, nil
 		case machine.SideExit, machine.BindRequest:
-			if out.Inline == nil && out.BCOff == entryPC {
+			// With chaining one Exec traverses many translations;
+			// EntryPC is the entry pc of the last one entered, so the
+			// no-progress check still catches a translation that exits
+			// where it started.
+			if out.Inline == nil && out.BCOff == out.EntryPC {
 				skipJIT = true
 			}
 			if out.Inline != nil {
@@ -160,7 +234,7 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 				root := out.Inline[len(out.Inline)-1]
 				if err != nil {
 					if herr := v.unwind(fr, root.RetBCOff-1, err); herr != nil {
-						return runtime.Null(), herr
+						return runtime.Null(), first, herr
 					}
 					continue
 				}
@@ -180,12 +254,12 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf *jit.Translation) (runtime.Valu
 				}
 				root := out.Inline[len(out.Inline)-1]
 				if herr := v.unwind(fr, root.RetBCOff-1, out.Err); herr != nil {
-					return runtime.Null(), herr
+					return runtime.Null(), first, herr
 				}
 				continue
 			}
 			if herr := v.unwind(fr, out.BCOff, out.Err); herr != nil {
-				return runtime.Null(), herr
+				return runtime.Null(), first, herr
 			}
 			continue
 		}
