@@ -3,12 +3,13 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|chain|all [-quick] [-workers N] [-json path]
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|chain|faults|all [-quick] [-workers N] [-json path]
 //
-// With -json, the rows of the machine-readable experiments (fig8 and
-// chain) are also written to the given path as a JSON document, so CI
-// can archive guest-cycles/req, smashed-vs-dispatched bind counts, and
-// host ns/req across runs.
+// With -json, the rows of the machine-readable experiments (fig8,
+// chain, and faults) are also written to the given path as a JSON
+// document, so CI can archive guest-cycles/req, smashed-vs-dispatched
+// bind counts, host ns/req, and fault-containment counters across
+// runs.
 package main
 
 import (
@@ -25,15 +26,18 @@ import (
 // jsonReport is the -json output document. Only the experiments that
 // actually ran appear; the rest stay null.
 type jsonReport struct {
-	Fig8  []experiments.Fig8Row  `json:"fig8,omitempty"`
-	Chain []experiments.ChainRow `json:"chain,omitempty"`
+	Fig8   []experiments.Fig8Row     `json:"fig8,omitempty"`
+	Chain  []experiments.ChainRow    `json:"chain,omitempty"`
+	Faults *experiments.FaultsResult `json:"faults,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, chain, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, chain, faults, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
 	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
-	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, chain) to this path")
+	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, chain, faults) to this path")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the faults experiment")
+	faultRate := flag.Float64("fault-rate", 0.01, "per-draw injection probability for the faults experiment")
 	flag.Parse()
 
 	pc := experiments.Full
@@ -108,6 +112,21 @@ func main() {
 		}
 		experiments.ReportChain(os.Stdout, rows)
 		report.Chain = rows
+		return nil
+	})
+	run("faults", func(pc perflab.Config) error {
+		res, err := experiments.Faults(pc, *faultSeed, *faultRate)
+		if err != nil {
+			return err
+		}
+		experiments.ReportFaults(os.Stdout, res)
+		report.Faults = res
+		if !res.OutputsMatch {
+			return fmt.Errorf("faulty outputs diverged from JIT-disabled reference")
+		}
+		if res.SlowdownPct > 25 {
+			return fmt.Errorf("faulty run %.1f%% slower than baseline (budget 25%%)", res.SlowdownPct)
+		}
 		return nil
 	})
 	run("fig10", func(pc perflab.Config) error {

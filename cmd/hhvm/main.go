@@ -6,11 +6,14 @@
 // Usage:
 //
 //	hhvm [-mode interp|tracelet|profiling|region] [-requests N]
-//	     [-stats] [-disas] [-prof-dump file] [-prof-load file] file.php
+//	     [-stats] [-disas] [-prof-dump file] [-prof-load file]
+//	     [-fault-rate P] [-fault-seed N] file.php
 //
 // -prof-load jumpstarts the engine from a profile snapshot before the
 // first request; -prof-dump persists the profile after the last one
-// (inspect the result with the profdump tool).
+// (inspect the result with the profdump tool). -fault-rate > 0 arms
+// the deterministic fault injector (DESIGN.md §11) at probability P
+// per draw for every fault kind, exercising the self-healing paths.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hhbc"
 	"repro/internal/jit"
 	"repro/internal/jumpstart"
@@ -32,6 +36,8 @@ func main() {
 	trigger := flag.Uint64("trigger", 0, "override the global retranslation trigger")
 	profDump := flag.String("prof-dump", "", "write a profile snapshot to this file after the last request")
 	profLoad := flag.String("prof-load", "", "jumpstart from a profile snapshot before the first request")
+	faultRate := flag.Float64("fault-rate", 0, "arm the fault injector at this probability per draw (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -71,6 +77,9 @@ func main() {
 	}
 	if *trigger != 0 {
 		cfg.ProfileTrigger = *trigger
+	}
+	if *faultRate > 0 {
+		cfg.Faults = faultinject.New(faultinject.EnableAll(*faultSeed, *faultRate))
 	}
 
 	eng, err := core.NewEngine(unit, cfg, os.Stdout)
@@ -117,6 +126,10 @@ func main() {
 			st.GuardFails, st.SideExits, st.BindRequests)
 		fmt.Fprintf(os.Stderr, "heap:         %d increfs, %d decrefs, %d destructors, %d COW copies\n",
 			hs.IncRefs, hs.DecRefs, hs.Destructs, hs.CowCopies)
+		if *faultRate > 0 {
+			fmt.Fprintf(os.Stderr, "self-healing: %d injections fired, %d faults contained, %d quarantined, %d demoted, %d recycle runs, degrade level %d\n",
+				cfg.Faults.TotalFired(), st.TransFaults, st.Quarantined, st.Demotions, st.RecycleRuns, st.DegradeLevel)
+		}
 	}
 }
 

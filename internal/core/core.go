@@ -16,10 +16,18 @@ import (
 	"repro/internal/hphpc"
 	"repro/internal/jit"
 	"repro/internal/jumpstart"
+	"repro/internal/machine"
 	"repro/internal/parser"
 	"repro/internal/runtime"
 	"repro/internal/vm"
 )
+
+// TransFault is the typed error a contained translation fault is
+// reported as: the JITed code panicked or hit an internal error, the
+// fault was contained, and the region re-executed in the interpreter
+// (DESIGN.md §11). Aliased from the machine layer, which cannot
+// import core.
+type TransFault = machine.TransFault
 
 // Prelude defines the exception hierarchy available to every program,
 // mirroring PHP's built-in classes.

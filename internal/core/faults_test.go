@@ -1,0 +1,280 @@
+// Engine-level tests for the self-healing layer (DESIGN.md §11):
+// concurrent fault containment under injection, code-cache recycling
+// reopening the mint path after exhaustion, and jumpstart snapshot
+// corruption degrading to a clean cold start. Run with -race these
+// also exercise the unpublish path against lock-free index readers.
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/jit"
+	"repro/internal/jumpstart"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// interpRefs runs every endpoint through a pure interpreter and
+// returns the reference outputs.
+func interpRefs(t *testing.T, unit *core.Engine, eps []workload.Endpoint) map[string]string {
+	t.Helper()
+	ref := map[string]string{}
+	for _, ep := range eps {
+		var sb strings.Builder
+		unit.VM.SetOut(&sb)
+		val, err := unit.Call(workload.EndpointFunc(ep.Name))
+		if err != nil {
+			t.Fatalf("reference %s: %v", ep.Name, err)
+		}
+		unit.Heap().DecRef(val)
+		ref[ep.Name] = sb.String()
+	}
+	return ref
+}
+
+// TestFaultContainmentConcurrent hammers a shared JIT with four
+// workers while every fault kind fires at 2% per draw: translations
+// panic mid-request, compiles fail, allocations fail, chain links go
+// stale. Every request must still complete with output identical to
+// the interpreter's — the process must not panic, and faulting
+// regions must be re-executed in the interpreter transparently.
+func TestFaultContainmentConcurrent(t *testing.T) {
+	src, eps := workload.Combined()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := core.NewEngine(unit, jit.Config{Mode: jit.ModeInterp}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := interpRefs(t, refEng, eps)
+
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 300
+	cfg.BackgroundCompile = true
+	cfg.Faults = faultinject.New(faultinject.EnableAll(11, 0.02))
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const rounds = 25
+	ws := make([]*vm.VM, workers)
+	ws[0] = eng.VM
+	for i := 1; i < workers; i++ {
+		ws[i] = eng.NewWorker(io.Discard)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(v *vm.VM) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, ep := range eps {
+					fn, ok := unit.FuncByName(workload.EndpointFunc(ep.Name))
+					if !ok {
+						errCh <- fmt.Errorf("endpoint %s: missing function", ep.Name)
+						return
+					}
+					var sb strings.Builder
+					v.SetOut(&sb)
+					val, err := v.CallFunc(fn, nil, nil)
+					if err != nil {
+						errCh <- fmt.Errorf("endpoint %s: %v", ep.Name, err)
+						return
+					}
+					v.Heap.DecRef(val)
+					if sb.String() != ref[ep.Name] {
+						errCh <- fmt.Errorf("endpoint %s: output diverged under fault injection:\n got %q\nwant %q",
+							ep.Name, sb.String(), ref[ep.Name])
+						return
+					}
+				}
+			}
+		}(ws[i])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.TransFaults == 0 {
+		t.Error("no translation faults were contained (injector never fired?)")
+	}
+	if fired := cfg.Faults.TotalFired(); fired == 0 {
+		t.Error("injector reports zero firings over the whole run")
+	}
+}
+
+// TestRecycleReopensMinting forces genuine code-cache exhaustion by
+// shrinking the cache to a third of the workload's tracelet
+// footprint. Recycling must evict cold translations, clear the sticky
+// cache-full latch, and let minting resume — the JIT must not stay
+// latched off or ride the degradation ladder down to interp-only.
+func TestRecycleReopensMinting(t *testing.T) {
+	src, eps := workload.Combined()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := core.NewEngine(unit, jit.Config{Mode: jit.ModeInterp}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := interpRefs(t, refEng, eps)
+
+	runAll := func(eng *core.Engine, rounds int) {
+		t.Helper()
+		for r := 0; r < rounds; r++ {
+			for _, ep := range eps {
+				var sb strings.Builder
+				eng.VM.SetOut(&sb)
+				val, err := eng.Call(workload.EndpointFunc(ep.Name))
+				if err != nil {
+					t.Fatalf("endpoint %s: %v", ep.Name, err)
+				}
+				eng.Heap().DecRef(val)
+				if sb.String() != ref[ep.Name] {
+					t.Fatalf("endpoint %s: output diverged under cache pressure:\n got %q\nwant %q",
+						ep.Name, sb.String(), ref[ep.Name])
+				}
+			}
+		}
+	}
+
+	// Probe: measure the workload's full tracelet footprint.
+	probeCfg := jit.DefaultConfig()
+	probeCfg.Mode = jit.ModeTracelet
+	probe, err := core.NewEngine(unit, probeCfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(probe, 6)
+	footprint := probe.Stats().BytesLive
+	if footprint == 0 {
+		t.Fatal("probe minted no tracelet code")
+	}
+
+	// Constrained run: a third of the footprint guarantees exhaustion.
+	cfg := jit.DefaultConfig()
+	cfg.Mode = jit.ModeTracelet
+	cfg.CodeCacheLimit = footprint / 3
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll(eng, 6)
+
+	st := eng.Stats()
+	if st.CacheFullEvents == 0 {
+		t.Fatal("cache never filled — the episode did not happen")
+	}
+	if st.RecycleRuns == 0 {
+		t.Error("cache filled but recycling never ran")
+	}
+	if st.Evictions == 0 || st.EvictedBytes == 0 {
+		t.Errorf("recycling evicted nothing: %d evictions, %d bytes",
+			st.Evictions, st.EvictedBytes)
+	}
+	if eng.VM.JIT.CacheFull() {
+		t.Error("cache-full latch still set after recycling")
+	}
+	if lvl := eng.VM.JIT.DegradeLevel(); lvl != 0 {
+		t.Errorf("degradation ladder stuck at level %d after successful recycling", lvl)
+	}
+	if st.LiveTranslations == 0 {
+		t.Error("no live translations resident — minting did not resume")
+	}
+}
+
+// TestJumpstartCorruptInjectionColdStart injects a snapshot
+// corruption into the load path: the CRC-validated decode must reject
+// the snapshot whole and the engine must cold-start with no partial
+// profile state, then warm up the normal way.
+func TestJumpstartCorruptInjectionColdStart(t *testing.T) {
+	donor := warmEngine(t, donorSrc)
+	snap := donor.ProfileSnapshot()
+	if len(snap.Funcs) == 0 {
+		t.Fatal("empty snapshot from warmed donor")
+	}
+
+	unit, err := core.Compile(donorSrc, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 100
+	cfg.Faults = faultinject.New(faultinject.Config{Seed: 3})
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults.ForceNext(faultinject.SnapshotCorrupt, 1)
+	res := eng.LoadProfile(snap)
+	if !res.Corrupt {
+		t.Fatal("corrupted snapshot was not flagged Corrupt")
+	}
+	if res.LoadedFuncs != 0 || res.LoadedTrans != 0 || res.Optimized {
+		t.Fatalf("partial state applied from a corrupt snapshot: %+v", res)
+	}
+	st := eng.Stats()
+	if st.ProfilingTranslations != 0 || st.OptimizedTranslations != 0 {
+		t.Fatalf("translations resident after rejected load: %d profiling, %d optimized",
+			st.ProfilingTranslations, st.OptimizedTranslations)
+	}
+
+	// Cold start proceeds normally: correct output, then a standard
+	// profile → optimize warmup as if the snapshot never existed.
+	var out strings.Builder
+	if _, err := eng.RunRequest(&out); err != nil {
+		t.Fatal(err)
+	}
+	if want := "v=1560\n"; out.String() != want {
+		t.Errorf("cold-start output %q, want %q", out.String(), want)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := eng.RunRequest(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Stats().OptimizeRuns == 0 {
+		t.Error("engine never warmed up after the rejected snapshot")
+	}
+}
+
+// TestJumpstartVersionMismatchColdStart writes a snapshot file,
+// advances its version byte (a future-format file), and verifies the
+// load path rejects it cleanly so callers fall back to a cold start.
+func TestJumpstartVersionMismatchColdStart(t *testing.T) {
+	donor := warmEngine(t, donorSrc)
+	path := filepath.Join(t.TempDir(), "prof.hhjs")
+	if err := jumpstart.Save(path, donor.ProfileSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4]++ // the version byte follows the 4-byte magic
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jumpstart.Load(path); !errors.Is(err, jumpstart.ErrVersion) {
+		t.Fatalf("future-version snapshot load error = %v, want ErrVersion", err)
+	}
+}

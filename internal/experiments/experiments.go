@@ -8,11 +8,14 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/jit"
 	"repro/internal/perflab"
 	"repro/internal/server"
+	"repro/internal/vm"
 )
 
 // Quick reduces warmup/measure volume for fast runs (tests, benches).
@@ -397,4 +400,258 @@ func ReportFig11(w io.Writer, rows []Fig11Row) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%11.0f%% %11.1f%%\n", r.RelCodeSize*100, r.RelPerf)
 	}
+}
+
+// ---------- Fault injection: self-healing under injected faults ----------
+
+// FaultsResult reports the self-healing experiment (DESIGN.md §11):
+// the endpoint suite run with every fault kind firing, checked for
+// output fidelity against a JIT-disabled reference and for throughput
+// against a fault-free baseline, plus a forced cache-recycling
+// episode.
+type FaultsResult struct {
+	Seed int64
+	// Rate is the per-draw injection probability of each fault kind.
+	Rate float64
+
+	// BaselineCycles / FaultyCycles are the weighted mean request
+	// costs without and with injection; SlowdownPct relates them.
+	BaselineCycles float64
+	FaultyCycles   float64
+	SlowdownPct    float64
+
+	// OutputsMatch reports that every endpoint's output under
+	// injection was bit-identical to the JIT-disabled reference.
+	OutputsMatch bool
+
+	// SnapshotCorruptRejected reports the snapshot-corruption leg: a
+	// donor profile corrupted in flight was rejected whole and the
+	// engine cold-started with no partial profile state.
+	SnapshotCorruptRejected bool
+
+	// Workers / WorkerRequests describe the concurrent run: N workers
+	// sharing one fault-injected JIT, total requests completed with
+	// zero process panics and reference-identical outputs.
+	Workers        int
+	WorkerRequests int
+
+	// Fired counts injections actually fired per fault kind.
+	Fired map[string]uint64
+	// Stats is the fault-injected engine's final counter snapshot.
+	Stats jit.Stats
+
+	// Recycle is the forced cache-pressure episode.
+	Recycle RecycleEpisode
+}
+
+// RecycleEpisode summarizes a run against a deliberately undersized
+// code cache: exhaustion must trigger recycling, recycling must evict
+// cold translations, and minting must resume (latch cleared).
+type RecycleEpisode struct {
+	CacheFullEvents uint64
+	RecycleRuns     uint64
+	Evictions       uint64
+	EvictedBytes    uint64
+	// LatchCleared reports the sticky cache-full latch was open at the
+	// end of the run — minting had resumed.
+	LatchCleared bool
+	// Translations is the final resident translation count proxy
+	// (live + profiling + optimized minted over the run).
+	Translations uint64
+	// DegradeLevel is the final degradation-ladder level (0 = the
+	// ladder fully recovered).
+	DegradeLevel uint64
+}
+
+// Faults runs the fault-injection experiment: a fault-free baseline,
+// an all-faults-on run (every kind at rate), a 4-worker concurrent
+// run under the same injection, and a forced cache-recycling episode.
+func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) {
+	res := &FaultsResult{Seed: seed, Rate: rate, Fired: map[string]uint64{}}
+
+	// JIT-disabled reference outputs: the fidelity oracle.
+	interpCfg := jit.DefaultConfig()
+	interpCfg.Mode = jit.ModeInterp
+	ref, err := perflab.Measure(interpCfg, pc)
+	if err != nil {
+		return nil, fmt.Errorf("faults interp reference: %w", err)
+	}
+	refOut := map[string]string{}
+	for _, ep := range ref.Endpoints {
+		refOut[ep.Name] = ep.Output
+	}
+
+	// Fault-free baseline.
+	base, err := perflab.Measure(jit.DefaultConfig(), pc)
+	if err != nil {
+		return nil, fmt.Errorf("faults baseline: %w", err)
+	}
+	res.BaselineCycles = base.WeightedMean
+
+	// All faults on. The injected engine must complete the full
+	// warmup+measure protocol (Measure itself rejects nondeterministic
+	// output) and match the interpreter bit-for-bit.
+	cfg := jit.DefaultConfig()
+	cfg.Faults = faultinject.New(faultinject.EnableAll(seed, rate))
+	faulty, err := perflab.Measure(cfg, pc)
+	if err != nil {
+		return nil, fmt.Errorf("faults injected run: %w", err)
+	}
+	res.FaultyCycles = faulty.WeightedMean
+	if res.BaselineCycles > 0 {
+		res.SlowdownPct = (res.FaultyCycles/res.BaselineCycles - 1) * 100
+	}
+	res.OutputsMatch = true
+	for _, ep := range faulty.Endpoints {
+		if ep.Output != refOut[ep.Name] {
+			res.OutputsMatch = false
+		}
+	}
+	res.Stats = faulty.JITStats
+
+	// Snapshot-corruption leg: persist a donor profile, then load it
+	// into a fresh engine with an in-flight corruption guaranteed to
+	// fire. The CRC-validated load must reject the snapshot whole and
+	// cold-start cleanly (no partial profile state).
+	donor, deps, err := perflab.NewEngine(jit.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("faults snapshot donor: %w", err)
+	}
+	for r := 0; r < 200 && donor.Stats().OptimizeRuns == 0; r++ {
+		for _, ep := range deps {
+			if _, _, err := perflab.RunEndpoint(donor, ep.Name); err != nil {
+				return nil, fmt.Errorf("faults snapshot donor %s: %w", ep.Name, err)
+			}
+		}
+	}
+	jcfg := jit.DefaultConfig()
+	jcfg.Faults = cfg.Faults // accumulate onto the same injector's counters
+	jeng, _, err := perflab.NewEngine(jcfg)
+	if err != nil {
+		return nil, fmt.Errorf("faults snapshot loader: %w", err)
+	}
+	cfg.Faults.ForceNext(faultinject.SnapshotCorrupt, 1)
+	load := jeng.LoadProfile(donor.ProfileSnapshot())
+	res.SnapshotCorruptRejected = load.Corrupt && load.LoadedTrans == 0 &&
+		jeng.Stats().ProfilingTranslations == 0
+
+	for _, k := range faultinject.Kinds() {
+		res.Fired[k.String()] = cfg.Faults.Fired(k)
+	}
+
+	// Concurrent serving under injection: 4 workers share one
+	// fault-injected JIT; every request must complete (contained, not
+	// crashed) with reference-identical output.
+	wcfg := jit.DefaultConfig()
+	wcfg.BackgroundCompile = true
+	wcfg.Faults = faultinject.New(faultinject.EnableAll(seed+1, rate))
+	weng, eps, err := perflab.NewEngine(wcfg)
+	if err != nil {
+		return nil, fmt.Errorf("faults worker engine: %w", err)
+	}
+	const workers = 4
+	res.Workers = workers
+	rounds := pc.WarmupRequests + pc.MeasureRequests
+	if rounds == 0 {
+		rounds = 20
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	counts := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		v := weng.VM
+		if i > 0 {
+			v = weng.NewWorker(io.Discard)
+		}
+		wg.Add(1)
+		go func(i int, v *vm.VM) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, ep := range eps {
+					_, out, err := perflab.RunEndpointVM(v, ep.Name)
+					if err != nil {
+						errs[i] = fmt.Errorf("worker %d %s: %w", i, ep.Name, err)
+						return
+					}
+					if out != refOut[ep.Name] {
+						errs[i] = fmt.Errorf("worker %d %s: output diverged from interp reference",
+							i, ep.Name)
+						return
+					}
+					counts[i]++
+				}
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.WorkerRequests += counts[i]
+	}
+
+	// Forced cache-recycling episode: size the budget at a fraction of
+	// the measured fault-free footprint so live minting exhausts it,
+	// and check that recycling reopened the cache.
+	probe := jit.DefaultConfig()
+	probe.Mode = jit.ModeTracelet
+	probeRes, err := perflab.Measure(probe, pc)
+	if err != nil {
+		return nil, fmt.Errorf("faults recycle probe: %w", err)
+	}
+	rcfg := jit.DefaultConfig()
+	rcfg.Mode = jit.ModeTracelet
+	rcfg.CodeCacheLimit = probeRes.CodeBytes / 3
+	if rcfg.CodeCacheLimit == 0 {
+		rcfg.CodeCacheLimit = 1
+	}
+	reng, reps, err := perflab.NewEngine(rcfg)
+	if err != nil {
+		return nil, fmt.Errorf("faults recycle engine: %w", err)
+	}
+	for r := 0; r < rounds; r++ {
+		for _, ep := range reps {
+			if _, out, err := perflab.RunEndpoint(reng, ep.Name); err != nil {
+				return nil, fmt.Errorf("faults recycle run %s: %w", ep.Name, err)
+			} else if out != refOut[ep.Name] {
+				return nil, fmt.Errorf("faults recycle run %s: output diverged", ep.Name)
+			}
+		}
+	}
+	rst := reng.Stats()
+	res.Recycle = RecycleEpisode{
+		CacheFullEvents: rst.CacheFullEvents,
+		RecycleRuns:     rst.RecycleRuns,
+		Evictions:       rst.Evictions,
+		EvictedBytes:    rst.EvictedBytes,
+		LatchCleared:    !reng.VM.JIT.CacheFull(),
+		Translations:    rst.LiveTranslations,
+		DegradeLevel:    rst.DegradeLevel,
+	}
+	return res, nil
+}
+
+// ReportFaults renders the experiment.
+func ReportFaults(w io.Writer, r *FaultsResult) {
+	fmt.Fprintf(w, "Fault injection — self-healing under injected faults (seed %d, rate %.1f%%/draw)\n",
+		r.Seed, r.Rate*100)
+	fmt.Fprintf(w, "baseline %14.0f cycles/req\n", r.BaselineCycles)
+	fmt.Fprintf(w, "faulty   %14.0f cycles/req  (%+.1f%%)\n", r.FaultyCycles, r.SlowdownPct)
+	fmt.Fprintf(w, "outputs bit-identical to JIT-disabled reference: %v\n", r.OutputsMatch)
+	fmt.Fprintf(w, "corrupt snapshot rejected whole (clean cold start): %v\n",
+		r.SnapshotCorruptRejected)
+	fmt.Fprintf(w, "concurrent run: %d workers, %d requests, zero panics\n",
+		r.Workers, r.WorkerRequests)
+	fmt.Fprintf(w, "injections fired:")
+	for _, k := range faultinject.Kinds() {
+		fmt.Fprintf(w, " %s=%d", k, r.Fired[k.String()])
+	}
+	fmt.Fprintf(w, "\ncontainment: %d faults contained, %d compile failures, %d quarantine retries, %d recoveries, %d demotions, %d unpublished\n",
+		r.Stats.TransFaults, r.Stats.CompileFailures, r.Stats.QuarantineRetries,
+		r.Stats.QuarantineRecoveries, r.Stats.Demotions, r.Stats.Unpublished)
+	rc := r.Recycle
+	fmt.Fprintf(w, "recycle episode: %d cache-full events, %d recycle runs, %d evictions (%d bytes), latch cleared=%v, degrade level=%d\n",
+		rc.CacheFullEvents, rc.RecycleRuns, rc.Evictions, rc.EvictedBytes,
+		rc.LatchCleared, rc.DegradeLevel)
 }

@@ -1,0 +1,368 @@
+// Fault containment and self-healing (DESIGN.md §11): translation
+// quarantine with capped-backoff retry, fault-driven demotion that
+// unpublishes bad translations from the RCU index, and code-cache
+// recycling that evicts cold translations under pressure instead of
+// latching the JIT off forever. The degradation ladder (Degrade*)
+// sheds work in stages when recycling cannot keep up.
+package jit
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/mcode"
+)
+
+// quarantineEntry tracks one (func, PC) address that failed to
+// compile or whose translation faulted at runtime.
+type quarantineEntry struct {
+	// attempts counts consecutive failed compile attempts; it drives
+	// the exponential retry backoff and the demotion budget.
+	attempts int
+	// faults counts contained execution faults (machine.TransFault)
+	// within the current fault window; isolated faults far apart on
+	// the entries clock do not accumulate (transient noise must not
+	// slowly demote every hot translation).
+	faults int
+	// lastFault is the entries-clock reading of the latest fault.
+	lastFault uint64
+	// episodes counts demotion episodes (fault bursts that got the
+	// address's translations unpublished); repeated episodes escalate
+	// to a permanent interp-only demotion.
+	episodes int
+	// lastEpisode is the entries-clock reading of the latest episode;
+	// episodes spaced far beyond their own backoff window reset the
+	// escalation (see RecordFault).
+	lastEpisode uint64
+	// until is the j.entries value before which minting at this
+	// address is suppressed (the backoff clock is function entries, so
+	// idle servers do not burn their retry budget).
+	until uint64
+	// permanent marks the address demoted to interp-only for good.
+	permanent bool
+}
+
+// quarantinedLocked reports whether minting at key is currently
+// suppressed. Callers hold j.mu.
+func (j *JIT) quarantinedLocked(key transKey) bool {
+	q := j.quarantine[key]
+	if q == nil {
+		return false
+	}
+	return q.permanent || j.entries.Load() < q.until
+}
+
+// quarantinedCount is the Stats.Quarantined gauge.
+func (j *JIT) quarantinedCount() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return uint64(len(j.quarantine))
+}
+
+// QuarantineState exposes one address's quarantine record for tests
+// and diagnostics: consecutive failed attempts, contained faults, and
+// whether the address is permanently demoted.
+func (j *JIT) QuarantineState(fnID, pc int) (attempts, faults int, permanent bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if q := j.quarantine[transKey{fnID, pc}]; q != nil {
+		return q.attempts, q.faults, q.permanent
+	}
+	return 0, 0, false
+}
+
+// backoffLocked computes the retry window for a quarantine entry:
+// QuarantineBase entries, doubling per consecutive failure, capped so
+// the shift cannot overflow.
+func (j *JIT) backoffLocked(attempts int) uint64 {
+	shift := attempts - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16
+	}
+	return j.Cfg.QuarantineBase << uint(shift)
+}
+
+// noteCompileFailure quarantines key after a failed mint. Transient
+// failures (injected compile errors, injected allocation failures,
+// malformed streams) earn exponential backoff; exhausting the retry
+// budget demotes the address permanently and unpublishes whatever is
+// already installed there.
+func (j *JIT) noteCompileFailure(key transKey, err error) {
+	atomic.AddUint64(&j.stats.CompileFailures, 1)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.quarantine[key]
+	if q == nil {
+		q = &quarantineEntry{}
+		j.quarantine[key] = q
+	}
+	if q.permanent {
+		return
+	}
+	q.attempts++
+	if q.attempts >= j.Cfg.QuarantineMaxAttempts {
+		j.demoteLocked(key, q)
+		return
+	}
+	q.until = j.entries.Load() + j.backoffLocked(q.attempts)
+}
+
+// noteMintSuccess clears key's quarantine after a successful compile:
+// the address healed, so its failure history is forgotten.
+func (j *JIT) noteMintSuccess(key transKey) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.quarantine[key]
+	if q == nil || q.permanent {
+		return
+	}
+	atomic.AddUint64(&j.stats.QuarantineRecoveries, 1)
+	if q.episodes == 0 {
+		// Pure compile-failure history: the address healed, forget it.
+		delete(j.quarantine, key)
+		return
+	}
+	// Keep the fault-episode history — an address that faults again
+	// after reminting must keep escalating toward permanent demotion —
+	// but clear the compile backoff.
+	q.attempts = 0
+	q.until = 0
+}
+
+// RecordFault notes one contained translation fault at (fnID, pc):
+// the VM caught a machine.TransFault, re-executed the region in the
+// interpreter, and the request completed. Repeated faults at one
+// address demote it — its translations are unpublished from the index
+// and it stays interp-only.
+func (j *JIT) RecordFault(fnID, pc int) {
+	atomic.AddUint64(&j.stats.TransFaults, 1)
+	key := transKey{fnID, pc}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.quarantine[key]
+	if q == nil {
+		q = &quarantineEntry{}
+		j.quarantine[key] = q
+	}
+	if q.permanent {
+		return
+	}
+	// Fault counting is windowed on the entries clock: only a burst of
+	// faults close together (a deterministic bug firing on every entry)
+	// demotes. Sparse faults — transient noise on a hot translation
+	// entered thousands of times — decay instead of accumulating
+	// toward an inevitable demotion.
+	now := j.entries.Load()
+	window := j.Cfg.QuarantineBase
+	if q.lastFault > 0 && now-q.lastFault > window {
+		q.faults = 0
+	}
+	q.lastFault = now
+	q.faults++
+	if q.faults < j.Cfg.FaultDemote {
+		// Below the demotion threshold the translation stays published
+		// (the fault may be transient), and minting is not blocked.
+		return
+	}
+	// A fault burst: unpublish the address's translations and back off
+	// before reminting. Only repeated episodes demote for good — a
+	// remint after a transient burst deserves a clean slate.
+	//
+	// Episode escalation decays too: a deterministic bug re-faults as
+	// soon as its backoff expires and it is reminted, so the gap
+	// between its episodes tracks the backoff itself; episodes spaced
+	// far beyond that (sparse random bursts on a long-running hot
+	// address) reset the ladder instead of creeping toward an
+	// inevitable permanent demotion.
+	q.faults = 0
+	if q.episodes > 0 && now-q.lastEpisode > 4*j.backoffLocked(q.episodes) {
+		q.episodes = 0
+	}
+	q.lastEpisode = now
+	q.episodes++
+	atomic.AddUint64(&j.stats.Demotions, 1)
+	if q.episodes >= j.Cfg.QuarantineMaxAttempts {
+		q.permanent = true
+		j.unpublishKeysLocked(map[transKey]bool{key: true})
+		return
+	}
+	j.unpublishKeysLocked(map[transKey]bool{key: true})
+	q.until = now + j.backoffLocked(q.episodes)
+}
+
+// demoteLocked permanently quarantines key and unpublishes its chain.
+// Callers hold j.mu.
+func (j *JIT) demoteLocked(key transKey, q *quarantineEntry) {
+	q.permanent = true
+	atomic.AddUint64(&j.stats.Demotions, 1)
+	j.unpublishKeysLocked(map[transKey]bool{key: true})
+}
+
+// unpublishKeysLocked removes every translation at the given keys
+// from the RCU index, advances the link epoch, treadmill-sweeps the
+// survivors so no stale chain link can reach the removed code, and
+// returns the removed translations' code to the cache. Callers hold
+// j.mu; lock-free readers iterating the old index keep working and
+// pick up the new one on their next load.
+func (j *JIT) unpublishKeysLocked(keys map[transKey]bool) (removed []*Translation) {
+	old := *j.trans.Load()
+	idx := make(transIndex, len(old))
+	for k, chain := range old {
+		if keys[k] {
+			removed = append(removed, chain...)
+			continue
+		}
+		idx[k] = chain
+	}
+	if len(removed) == 0 {
+		return nil
+	}
+	j.trans.Store(&idx)
+	epoch := j.epoch.Add(1)
+	swept := 0
+	for _, chain := range idx {
+		for _, tr := range chain {
+			swept += tr.Code.SweepLinks(epoch)
+		}
+	}
+	if swept > 0 {
+		j.Chain.LinksSwept.Add(uint64(swept))
+	}
+	for _, tr := range removed {
+		j.retireCode(tr)
+	}
+	atomic.AddUint64(&j.stats.Unpublished, uint64(len(removed)))
+	return removed
+}
+
+// retireCode returns one translation's extent to its cache area and
+// rolls the resident-byte stat back. Safe under j.mu (the cache has
+// its own lock, taken after).
+func (j *JIT) retireCode(tr *Translation) {
+	size := tr.Code.Size
+	sub := func(p *uint64) {
+		if size > 0 {
+			atomic.AddUint64(p, ^(size - 1))
+		}
+	}
+	switch tr.Kind {
+	case ModeTracelet:
+		j.Cache.Free(mcode.AreaLive, size)
+		sub(&j.stats.BytesLive)
+	case ModeProfiling:
+		j.Cache.Free(mcode.AreaProfile, size)
+		sub(&j.stats.BytesProfiling)
+	default:
+		j.Cache.Free(mcode.AreaHot, size)
+		sub(&j.stats.BytesOptimized)
+	}
+}
+
+// recycle frees code-cache space after genuine exhaustion by evicting
+// the coldest translations (lowest use count) until `need` bytes plus
+// a slack of limit/16 are reclaimed. On success the sticky cacheFull
+// latch is cleared and minting resumes; on failure the degradation
+// ladder escalates one level. Returns whether enough space was freed.
+// Called from the compile path (compileMu held; j.mu is taken here —
+// nothing takes them in the other order).
+func (j *JIT) recycle(need uint64) bool {
+	j.mu.Lock()
+	atomic.AddUint64(&j.stats.RecycleRuns, 1)
+
+	type cand struct {
+		key transKey
+		tr  *Translation
+	}
+	var cands []cand
+	for k, chain := range *j.trans.Load() {
+		for _, tr := range chain {
+			cands = append(cands, cand{k, tr})
+		}
+	}
+	// Coldest first; deterministic tie-break so concurrent runs and
+	// reruns evict the same victims.
+	sort.Slice(cands, func(a, b int) bool {
+		ua, ub := cands[a].tr.Uses(), cands[b].tr.Uses()
+		if ua != ub {
+			return ua < ub
+		}
+		if cands[a].key.fn != cands[b].key.fn {
+			return cands[a].key.fn < cands[b].key.fn
+		}
+		if cands[a].key.pc != cands[b].key.pc {
+			return cands[a].key.pc < cands[b].key.pc
+		}
+		return cands[a].tr.Kind < cands[b].tr.Kind
+	})
+
+	target := need + j.Cache.Limit()/16
+	var planned uint64
+	evictKeys := map[transKey]bool{}
+	victims := 0
+	for _, c := range cands {
+		if planned >= target {
+			break
+		}
+		// Whole chains go: evicting one link of a retranslation chain
+		// and keeping its siblings buys little and complicates the
+		// index rewrite.
+		if evictKeys[c.key] {
+			continue
+		}
+		evictKeys[c.key] = true
+		for _, tr := range (*j.trans.Load())[c.key] {
+			planned += tr.Code.Size
+			victims++
+		}
+	}
+	// Freed bytes are measured against the cache, not summed from
+	// translation sizes: an extent can already have been bulk-freed
+	// (profiling code is discarded wholesale at the optimized publish),
+	// and claiming its bytes again would declare phantom progress.
+	before := j.Cache.TotalUsed()
+	if victims > 0 {
+		j.unpublishKeysLocked(evictKeys)
+		atomic.AddUint64(&j.stats.Evictions, uint64(victims))
+		// Evicted addresses may remint later (they start cold again);
+		// reset their entry counts so thresholds apply afresh.
+		for k := range evictKeys {
+			delete(j.entryCount, k)
+		}
+	}
+	freed := before - j.Cache.TotalUsed()
+	atomic.AddUint64(&j.stats.EvictedBytes, freed)
+	ok := freed >= need
+	j.mu.Unlock()
+
+	if ok {
+		// Pressure relieved: reopen minting and walk the ladder back.
+		j.cacheFull.Store(false)
+		j.degrade.Store(DegradeNone)
+	} else {
+		j.escalateDegrade()
+	}
+	return ok
+}
+
+// escalateDegrade moves the degradation ladder one level down (toward
+// interp-only), never past the bottom.
+func (j *JIT) escalateDegrade() {
+	for {
+		cur := j.degrade.Load()
+		if cur >= DegradeInterpOnly {
+			return
+		}
+		if j.degrade.CompareAndSwap(cur, cur+1) {
+			return
+		}
+	}
+}
+
+// DegradeLevel returns the current degradation-ladder level.
+func (j *JIT) DegradeLevel() int32 { return j.degrade.Load() }
+
+// CacheFull reports whether the cache-full latch is currently set.
+func (j *JIT) CacheFull() bool { return j.cacheFull.Load() }

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/hhbc"
 	"repro/internal/interp"
 	"repro/internal/machine"
@@ -96,7 +97,38 @@ type Config struct {
 	MaxLiveChain int
 	// LiveThreshold: entries before a live translation is made.
 	LiveThreshold uint64
+
+	// Faults, when non-nil, threads deterministic fault injection
+	// through the compile pipeline, code cache, translation executor,
+	// and snapshot loader (DESIGN.md §11). Nil in production.
+	Faults *faultinject.Injector
+	// QuarantineBase is the initial retry backoff after a compile
+	// failure or contained fault, measured in function-entry events;
+	// it doubles per consecutive failure (0 = default 32).
+	QuarantineBase uint64
+	// QuarantineMaxAttempts caps compile retries at one address before
+	// it is demoted to interp-only for good (0 = default 6).
+	QuarantineMaxAttempts int
+	// FaultDemote is the number of contained execution faults at one
+	// address before its translations are unpublished from the index
+	// and the address demoted to interp-only (0 = default 3).
+	FaultDemote int
 }
+
+// Degradation ladder levels (DESIGN.md §11): when code-cache
+// recycling cannot free enough space, the JIT sheds work in stages
+// instead of wedging — first new live translations, then all minting,
+// finally execution of JITed code itself.
+const (
+	// DegradeNone: normal operation.
+	DegradeNone int32 = iota
+	// DegradeNoLiveMint: stop minting new live translations.
+	DegradeNoLiveMint
+	// DegradeNoMint: stop minting translations of any kind.
+	DegradeNoMint
+	// DegradeInterpOnly: stop dispatching to JITed code entirely.
+	DegradeInterpOnly
+)
 
 // DefaultConfig is the full region JIT with everything on.
 func DefaultConfig() Config {
@@ -131,7 +163,15 @@ type Translation struct {
 	ProfID profile.TransID
 	// Desc is kept for region reuse (inlining) and diagnostics.
 	Desc *region.Desc
+
+	// uses counts successful guard matches (dispatcher, chaining and
+	// OSR paths alike): the hotness signal cache recycling sorts by
+	// when evicting cold translations under pressure.
+	uses atomic.Uint64
 }
+
+// Uses returns the translation's successful-match count.
+func (tr *Translation) Uses() uint64 { return tr.uses.Load() }
 
 // Translation implements machine.ChainTarget: a smashed link holds a
 // *Translation and the machine tail-transfers into it after recheck.
@@ -166,6 +206,7 @@ func (tr *Translation) Matches(fr *interp.Frame) bool {
 			return false
 		}
 	}
+	tr.uses.Add(1)
 	return true
 }
 
@@ -224,6 +265,37 @@ type Stats struct {
 	StaleLinks      uint64
 	ChainMismatches uint64
 	LinksSwept      uint64
+
+	// Fault containment and self-healing (DESIGN.md §11).
+	// TransFaults counts contained translation faults (panic or
+	// internal error converted to an interpreter re-execution).
+	TransFaults uint64
+	// CompileFailures counts failed compile attempts (injected or
+	// genuine); each quarantines its (func, PC) with backoff.
+	CompileFailures uint64
+	// QuarantineRetries counts mint attempts at a previously
+	// quarantined address whose backoff expired.
+	QuarantineRetries uint64
+	// QuarantineRecoveries counts addresses that compiled successfully
+	// after one or more quarantined failures.
+	QuarantineRecoveries uint64
+	// Demotions counts addresses demoted to interp-only for good
+	// (fault threshold or retry budget exhausted).
+	Demotions uint64
+	// Unpublished counts translations removed from the index by fault
+	// demotion or cache recycling.
+	Unpublished uint64
+	// RecycleRuns / Evictions / EvictedBytes describe code-cache
+	// recycling episodes.
+	RecycleRuns  uint64
+	Evictions    uint64
+	EvictedBytes uint64
+
+	// Quarantined is a gauge: addresses currently under quarantine
+	// (including permanent demotions).
+	Quarantined uint64
+	// DegradeLevel is the current degradation-ladder level gauge.
+	DegradeLevel uint64
 }
 
 // JIT owns the translation cache and compilation pipelines. One JIT
@@ -265,9 +337,11 @@ type JIT struct {
 	byProfID map[profile.TransID]*Translation
 
 	entryCount map[transKey]uint64
-	// blacklist marks addresses whose translation failed; they stay
-	// interpreted.
-	blacklist map[transKey]bool
+	// quarantine tracks addresses whose compiles failed or whose
+	// translations faulted: retried with capped exponential backoff,
+	// demoted to interp-only when the budget runs out (DESIGN.md §11).
+	// Replaces the old permanent blacklist.
+	quarantine map[transKey]*quarantineEntry
 	// inflight is the single-flight table: one minting compile per
 	// (func, PC) at a time; losers wait and re-check the index.
 	inflight map[transKey]chan struct{}
@@ -279,7 +353,11 @@ type JIT struct {
 	entries    atomic.Uint64
 	optStarted atomic.Bool // global retranslation claimed
 	optimized  atomic.Bool // optimized index published
-	cacheFull  atomic.Bool
+	// cacheFull latches on genuine cache exhaustion; cleared again when
+	// recycling frees space (it is a pressure valve, not a tombstone).
+	cacheFull atomic.Bool
+	// degrade is the current degradation-ladder level (Degrade*).
+	degrade atomic.Int32
 
 	stats Stats
 }
@@ -298,6 +376,15 @@ func New(cfg Config, env *interp.Env, meter *machine.Meter) *JIT {
 	if cfg.LiveThreshold == 0 {
 		cfg.LiveThreshold = 2
 	}
+	if cfg.QuarantineBase == 0 {
+		cfg.QuarantineBase = 32
+	}
+	if cfg.QuarantineMaxAttempts == 0 {
+		cfg.QuarantineMaxAttempts = 6
+	}
+	if cfg.FaultDemote == 0 {
+		cfg.FaultDemote = 3
+	}
 	j := &JIT{
 		Cfg:          cfg,
 		Env:          env,
@@ -310,9 +397,10 @@ func New(cfg Config, env *interp.Env, meter *machine.Meter) *JIT {
 		profIDs:      map[int][]profile.TransID{},
 		byProfID:     map[profile.TransID]*Translation{},
 		entryCount:   map[transKey]uint64{},
-		blacklist:    map[transKey]bool{},
+		quarantine:   map[transKey]*quarantineEntry{},
 		inflight:     map[transKey]chan struct{}{},
 	}
+	j.Cache.Faults = cfg.Faults
 	empty := transIndex{}
 	j.trans.Store(&empty)
 	return j
@@ -352,6 +440,18 @@ func (j *JIT) Stats() Stats {
 		StaleLinks:      j.Chain.StaleLinks.Load(),
 		ChainMismatches: j.Chain.ChainMismatches.Load(),
 		LinksSwept:      j.Chain.LinksSwept.Load(),
+
+		TransFaults:          ld(&s.TransFaults),
+		CompileFailures:      ld(&s.CompileFailures),
+		QuarantineRetries:    ld(&s.QuarantineRetries),
+		QuarantineRecoveries: ld(&s.QuarantineRecoveries),
+		Demotions:            ld(&s.Demotions),
+		Unpublished:          ld(&s.Unpublished),
+		RecycleRuns:          ld(&s.RecycleRuns),
+		Evictions:            ld(&s.Evictions),
+		EvictedBytes:         ld(&s.EvictedBytes),
+		Quarantined:          j.quarantinedCount(),
+		DegradeLevel:         uint64(j.degrade.Load()),
 	}
 }
 
@@ -376,6 +476,14 @@ func (j *JIT) Smash(code *mcode.Code, instr int, tr *Translation) {
 	}
 	epoch := j.epoch.Load()
 	if l := code.LoadLink(instr); l != nil && l.Epoch == epoch && l.Target == tr {
+		return
+	}
+	if j.Cfg.Faults.Should(faultinject.StaleLink) && epoch > 0 {
+		// Inject a link stamped with the previous epoch: followers must
+		// detect it as stale and fall back to the dispatch path rather
+		// than transfer through it.
+		code.StoreLink(instr, &mcode.Link{Epoch: epoch - 1, Target: tr})
+		j.Chain.BindsSmashed.Add(1)
 		return
 	}
 	code.StoreLink(instr, &mcode.Link{Epoch: epoch, Target: tr})
@@ -463,7 +571,7 @@ func (j *JIT) findMatch(key transKey, fr *interp.Frame, m *machine.Meter) *Trans
 // in the interpreter. The fast path is a lock-free read of the
 // RCU-published index; the minting slow path serializes per key.
 func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
-	if j.Cfg.Mode == ModeInterp {
+	if j.Cfg.Mode == ModeInterp || j.degrade.Load() >= DegradeInterpOnly {
 		return nil
 	}
 	atomic.AddUint64(&j.stats.Lookups, 1)
@@ -472,7 +580,7 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 		return tr
 	}
 	// Nothing matches: consider translating.
-	if j.cacheFull.Load() {
+	if j.cacheFull.Load() || j.degrade.Load() >= DegradeNoMint {
 		return nil
 	}
 	for {
@@ -482,7 +590,7 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 			j.mu.Unlock()
 			return tr
 		}
-		if j.blacklist[key] || j.cacheFull.Load() {
+		if j.quarantinedLocked(key) || j.cacheFull.Load() {
 			j.mu.Unlock()
 			return nil
 		}
@@ -499,6 +607,7 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 		}
 		j.entryCount[key]++
 		var mint func(*hhbc.Func, *interp.Frame, *machine.Meter) *Translation
+		liveMint := false
 		chain := (*j.trans.Load())[key]
 		switch j.Cfg.Mode {
 		case ModeTracelet:
@@ -506,7 +615,7 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 				j.mu.Unlock()
 				return nil
 			}
-			mint = j.translateLive
+			mint, liveMint = j.translateLive, true
 		case ModeProfiling:
 			if len(chain) >= j.Cfg.MaxLiveChain {
 				j.mu.Unlock()
@@ -526,11 +635,19 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 					j.mu.Unlock()
 					return nil
 				}
-				mint = j.translateLive
+				mint, liveMint = j.translateLive, true
 			}
 		default:
 			j.mu.Unlock()
 			return nil
+		}
+		if liveMint && j.degrade.Load() >= DegradeNoLiveMint {
+			j.mu.Unlock()
+			return nil
+		}
+		if q := j.quarantine[key]; q != nil {
+			// Past its backoff window: this mint is a quarantine retry.
+			atomic.AddUint64(&j.stats.QuarantineRetries, 1)
 		}
 		done := make(chan struct{})
 		j.inflight[key] = done
@@ -572,13 +689,14 @@ func (j *JIT) HasMatch(fn *hhbc.Func, fr *interp.Frame) bool {
 // observation so loops that stay in the interpreter eventually cross
 // the live-translation threshold.
 func (j *JIT) WantsTranslation(fn *hhbc.Func, fr *interp.Frame) bool {
-	if j.cacheFull.Load() || j.Cfg.Mode == ModeInterp {
+	if j.cacheFull.Load() || j.Cfg.Mode == ModeInterp ||
+		j.degrade.Load() >= DegradeNoMint {
 		return false
 	}
 	key := transKey{fn.ID, fr.PC}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.blacklist[key] || len((*j.trans.Load())[key]) >= j.Cfg.MaxLiveChain {
+	if j.quarantinedLocked(key) || len((*j.trans.Load())[key]) >= j.Cfg.MaxLiveChain {
 		return false
 	}
 	switch j.Cfg.Mode {

@@ -13,6 +13,7 @@ package jit
 import (
 	"sort"
 
+	"repro/internal/faultinject"
 	"repro/internal/hhbc"
 	"repro/internal/jumpstart"
 	"repro/internal/profile"
@@ -140,6 +141,10 @@ type JumpstartResult struct {
 	UnknownFuncs []string
 	// Optimized reports whether the load fired global retranslation.
 	Optimized bool
+	// Corrupt reports that the snapshot failed integrity validation
+	// (or an injected in-flight corruption) and was discarded whole:
+	// the engine cold-starts with no partial profile state.
+	Corrupt bool
 }
 
 // snapTypeSource replays a snapshot translation's recorded entry
@@ -177,6 +182,22 @@ func (j *JIT) Jumpstart(snap *jumpstart.Snapshot) JumpstartResult {
 	res := JumpstartResult{}
 	if snap == nil {
 		return res
+	}
+	if j.Cfg.Faults.Should(faultinject.SnapshotCorrupt) {
+		// Model corruption in flight (torn write, bad disk): round-trip
+		// the snapshot through the wire codec with a flipped byte. The
+		// CRC-validated decode must reject it, and the load degrades to
+		// a clean cold start — no partial profile state is applied.
+		data := jumpstart.Encode(snap)
+		j.Cfg.Faults.CorruptBytes(data)
+		damaged, err := jumpstart.Decode(data)
+		if err != nil {
+			res.Corrupt = true
+			return res
+		}
+		// The flip landed somewhere the codec provably tolerates;
+		// proceed with the decoded copy.
+		snap = damaged
 	}
 
 	accepted := make([]*hhbc.Func, len(snap.Funcs))

@@ -1,11 +1,13 @@
 package jit
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/hhbc"
 	"repro/internal/hhir"
 	"repro/internal/interp"
@@ -30,6 +32,9 @@ func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.Pass
 	j.compileMu.Lock()
 	defer j.compileMu.Unlock()
 
+	if j.Cfg.Faults.Should(faultinject.CompileError) {
+		return nil, faultinject.Errf(faultinject.CompileError)
+	}
 	hu, err := hhir.Build(j.Unit, j.Env, desc, bcfg)
 	if err != nil {
 		return nil, err
@@ -41,15 +46,29 @@ func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.Pass
 	}
 	vasm.Layout(vu, lay)
 	vasm.Allocate(vu)
-	code := mcode.Assemble(vu)
+	code, err := mcode.Assemble(vu)
+	if err != nil {
+		return nil, err
+	}
 	if Debug && !bcfg.Profiling {
 		fmt.Fprintf(os.Stderr, "=== region for %s ===\n%s\n--- HHIR ---\n%s--- vasm ---\n%s\n",
 			desc.Entry().Func.FullName(), desc, hu, vu)
 	}
 	base, err := j.Cache.Alloc(area, code.Size)
-	if err != nil {
+	if err != nil && errors.Is(err, mcode.ErrCacheFull) {
+		// Genuine exhaustion (injected alloc failures fall through as
+		// plain transient errors): latch, and on the minting paths try
+		// to recycle cold code and retry the allocation once. The
+		// global optimized publish (AreaHot) never recycles — it keeps
+		// its partial-publish semantics, where functions that miss the
+		// budget simply stay on their profiling translations.
 		j.cacheFull.Store(true)
 		atomic.AddUint64(&j.stats.CacheFullEvents, 1)
+		if area != mcode.AreaHot && j.recycle(code.Size) {
+			base, err = j.Cache.Alloc(area, code.Size)
+		}
+	}
+	if err != nil {
 		return nil, err
 	}
 	code.Place(base)
@@ -91,10 +110,10 @@ func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *
 		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaLive, m)
 	if err != nil {
 		debugCompileErr("live", fn.FullName(), err)
-		if !j.cacheFull.Load() {
-			j.mu.Lock()
-			j.blacklist[transKey{fn.ID, fr.PC}] = true
-			j.mu.Unlock()
+		if !errors.Is(err, mcode.ErrCacheFull) {
+			// Cache pressure is global, not this address's fault; only
+			// per-address failures quarantine the key.
+			j.noteCompileFailure(transKey{fn.ID, fr.PC}, err)
 		}
 		return nil
 	}
@@ -110,6 +129,7 @@ func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *
 	j.mu.Lock()
 	j.installLocked(tr)
 	j.mu.Unlock()
+	j.noteMintSuccess(transKey{fn.ID, fr.PC})
 	atomic.AddUint64(&j.stats.LiveTranslations, 1)
 	atomic.AddUint64(&j.stats.BytesLive, code.Size)
 	return tr
@@ -125,10 +145,9 @@ func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame, m *machine.Met
 	code, err := j.compile(desc, bcfg, j.passConfig(true),
 		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaProfile, m)
 	if err != nil {
-		if !j.cacheFull.Load() {
-			j.mu.Lock()
-			j.blacklist[transKey{fn.ID, fr.PC}] = true
-			j.mu.Unlock()
+		debugCompileErr("profiling", fn.FullName(), err)
+		if !errors.Is(err, mcode.ErrCacheFull) {
+			j.noteCompileFailure(transKey{fn.ID, fr.PC}, err)
 		}
 		return nil
 	}
@@ -148,6 +167,7 @@ func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame, m *machine.Met
 	j.profBlocks[fn.ID] = append(j.profBlocks[fn.ID], blk)
 	j.profIDs[fn.ID] = append(j.profIDs[fn.ID], blk.ProfCounter)
 	j.mu.Unlock()
+	j.noteMintSuccess(transKey{fn.ID, fr.PC})
 	atomic.AddUint64(&j.stats.ProfilingTranslations, 1)
 	atomic.AddUint64(&j.stats.BytesProfiling, code.Size)
 	return tr
@@ -181,6 +201,11 @@ func (j *JIT) installLocked(tr *Translation) {
 // cache full) are NOT unpublished: they keep their profiling
 // translations and are counted in Stats.PartialPublishFuncs.
 func (j *JIT) OptimizeAll() {
+	if j.degrade.Load() >= DegradeNoMint {
+		// The ladder says stop reoptimizing: leave the run unclaimed so
+		// a later trigger can fire it if pressure recedes.
+		return
+	}
 	if !j.optStarted.CompareAndSwap(false, true) {
 		return
 	}
@@ -271,6 +296,14 @@ func (j *JIT) OptimizeAll() {
 		for _, desc := range fr.regions {
 			code, err := j.compile(desc, bcfg, j.passConfig(false),
 				j.layoutConfig(), mcode.AreaHot, meter)
+			if err != nil && !errors.Is(err, mcode.ErrCacheFull) {
+				// Transient failure (an injected compile error, a flaky
+				// allocation): the global publish runs once ever, so a
+				// single retry is cheap insurance against one bad draw
+				// permanently costing this region its optimized code.
+				code, err = j.compile(desc, bcfg, j.passConfig(false),
+					j.layoutConfig(), mcode.AreaHot, meter)
+			}
 			if err != nil {
 				debugCompileErr("optimize", desc.Entry().Func.FullName(), err)
 				ok = false // cache full: this function keeps its profiling code
@@ -317,6 +350,13 @@ func (j *JIT) OptimizeAll() {
 	}
 	for _, tr := range newTrans {
 		key := transKey{tr.FuncID, tr.PC}
+		if q := j.quarantine[key]; q != nil && q.permanent {
+			// The address was demoted to interp-only after repeated
+			// faults; publishing an optimized region there would
+			// resurrect the faulting code path. Return the extent.
+			j.retireCode(tr)
+			continue
+		}
 		idx[key] = append(idx[key], tr)
 	}
 	j.trans.Store(&idx)

@@ -2,10 +2,10 @@ package machine
 
 import (
 	"fmt"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/hhbc"
 	"repro/internal/interp"
 	"repro/internal/mcode"
@@ -28,7 +28,29 @@ const (
 	BindRequest
 	// Threw: a guest error escaped; frame state synced at BCOff.
 	Threw
+	// Faulted: the translation itself failed — a panic inside JITed
+	// code or an internal machine error, never a guest-level error.
+	// Err is a *TransFault; BCOff is the pc the faulting translation
+	// was entered at, where the VM re-executes in the interpreter.
+	Faulted
 )
+
+// TransFault is the typed error produced when a translation panics or
+// hits an internal machine error. The fault-containment layer
+// (vm.runFrame) quarantines the faulting address and re-executes the
+// region in the interpreter, so the request completes and the process
+// survives — the JIT is an optimization, never a point of failure.
+type TransFault struct {
+	// FuncID / PC identify the faulting translation's entry.
+	FuncID int
+	PC     int
+	// Reason describes the underlying panic or internal error.
+	Reason string
+}
+
+func (f *TransFault) Error() string {
+	return fmt.Sprintf("translation fault at func %d pc %d: %s", f.FuncID, f.PC, f.Reason)
+}
 
 // Outcome reports the result of executing one translation.
 type Outcome struct {
@@ -125,6 +147,11 @@ type Machine struct {
 	// miss. It must NOT mint translations or touch the dispatcher's
 	// single-flight path. Nil when chaining is unavailable.
 	Fallback func(fnID, pc int, fr *interp.Frame) ChainTarget
+
+	// FI, when non-nil, injects translation-entry panics
+	// (faultinject.TransPanic) so the containment path is exercised
+	// under test and in the `-exp faults` experiment.
+	FI *faultinject.Injector
 
 	// Epoch points at the JIT's translation-index version counter;
 	// links stamped with an older epoch are stale and fall back to
@@ -228,7 +255,7 @@ func (m *Machine) Exec(code *mcode.Code, fr *interp.Frame) Outcome {
 	return out
 }
 
-func (m *Machine) exec(code *mcode.Code, act *activation) Outcome {
+func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 	fr := act.fr
 	h := m.Env.Heap
 	guardFails := 0
@@ -240,18 +267,25 @@ func (m *Machine) exec(code *mcode.Code, act *activation) Outcome {
 	// loop blocks ahead of it.
 	ip := code.BlockIndex[0]
 	defer func() {
+		// Fault containment: a panic inside a translation becomes a
+		// typed TransFault outcome instead of killing the process. The
+		// frame is re-synced to the entry pc of the translation that
+		// faulted; the VM quarantines the address and re-executes the
+		// stretch in the interpreter.
 		if r := recover(); r != nil {
-			in := &code.Instrs[ip]
-			panic(fmt.Sprintf("machine panic at ip=%d op=%s instr=%s spills=%d imms=%d locals=%d: %v\n%s",
-				ip, in.Op, in.String(), len(act.spills), len(code.Imms), len(fr.Locals), r,
-				debug.Stack()))
+			reason := fmt.Sprintf("panic: %v", r)
+			if ip >= 0 && ip < len(code.Instrs) {
+				reason = fmt.Sprintf("panic at ip=%d op=%s: %v", ip, code.Instrs[ip].Op, r)
+			}
+			out = m.faultOutcome(act, guardFails, reason)
 		}
 	}()
+	if m.FI.Should(faultinject.TransPanic) {
+		panic(faultinject.Errf(faultinject.TransPanic))
+	}
 	for {
 		if ip >= len(code.Instrs) {
-			return Outcome{Kind: Threw, BCOff: fr.PC, GuardFails: guardFails,
-				EntryPC: act.entryPC,
-				Err:     runtime.NewError("machine: fell off code end")}
+			return m.faultOutcome(act, guardFails, "fell off code end")
 		}
 		in := &code.Instrs[ip]
 		m.Meter.ChargeOp(in.Op, opCost(in.Op)+m.Fetch.Fetch(code.AddrOf(ip)))
@@ -476,11 +510,28 @@ func (m *Machine) exec(code *mcode.Code, act *activation) Outcome {
 			return out
 
 		default:
-			return Outcome{Kind: Threw, BCOff: fr.PC, GuardFails: guardFails,
-				EntryPC: act.entryPC,
-				Err:     runtime.NewError("machine: bad opcode %s", in.Op)}
+			return m.faultOutcome(act, guardFails, fmt.Sprintf("bad opcode %s", in.Op))
 		}
 		ip++
+	}
+}
+
+// faultOutcome builds the contained-fault outcome for the translation
+// act is currently executing: the frame is re-synced to the entry pc
+// (where the interpreter can deterministically re-execute) and the
+// eval stack left as the entry stack — the machine only rewrites
+// fr.Stack at exits, so at this point it still holds the entry state.
+func (m *Machine) faultOutcome(act *activation, guardFails int, reason string) Outcome {
+	fr := act.fr
+	fr.PC = act.entryPC
+	fnID := -1
+	if fr.Fn != nil {
+		fnID = fr.Fn.ID
+	}
+	return Outcome{
+		Kind: Faulted, BCOff: act.entryPC, EntryPC: act.entryPC,
+		GuardFails: guardFails,
+		Err:        &TransFault{FuncID: fnID, PC: act.entryPC, Reason: reason},
 	}
 }
 

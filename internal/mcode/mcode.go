@@ -5,12 +5,19 @@
 package mcode
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/vasm"
 )
+
+// ErrCacheFull reports genuine code-cache exhaustion (the byte budget
+// would be exceeded). The JIT distinguishes it from transient injected
+// allocation failures: only real exhaustion triggers cache recycling.
+var ErrCacheFull = errors.New("code cache full")
 
 // Code is one assembled translation: the flattened instruction
 // stream in layout order with per-instruction addresses.
@@ -145,8 +152,11 @@ func instrSize(in *vasm.Instr) uint64 {
 }
 
 // Assemble flattens a laid-out, register-allocated unit. Addresses
-// are relative to 0 until Place assigns a base.
-func Assemble(u *vasm.Unit) *Code {
+// are relative to 0 until Place assigns a base. A malformed stream
+// (e.g. an immediate index past the constant pool) is a typed error,
+// not a panic: the compile fails, the address is quarantined, and the
+// process keeps serving from the interpreter (DESIGN.md §11).
+func Assemble(u *vasm.Unit) (*Code, error) {
 	order := u.Layout
 	if order == nil {
 		order = make([]int, len(u.Blocks))
@@ -181,8 +191,8 @@ func Assemble(u *vasm.Unit) *Code {
 	}
 	for i := range c.Instrs {
 		if c.Instrs[i].Op == vasm.LdImm && int(c.Instrs[i].I64) >= len(c.Imms) {
-			panic(fmt.Sprintf("mcode: LdImm #%d out of range (%d imms)\n%s",
-				c.Instrs[i].I64, len(c.Imms), u.String()))
+			return nil, fmt.Errorf("mcode: LdImm #%d out of range (%d imms)",
+				c.Instrs[i].I64, len(c.Imms))
 		}
 	}
 	// Smash-site identity: any smashable instruction (bind jumps and
@@ -194,7 +204,7 @@ func Assemble(u *vasm.Unit) *Code {
 			break
 		}
 	}
-	return c
+	return c, nil
 }
 
 // Place rebases the code at base.
@@ -225,6 +235,11 @@ const (
 // the total byte budget models the JITed-code limit swept in the
 // paper's Figure 11 experiment.
 type Cache struct {
+	// Faults, when non-nil, injects transient allocation failures
+	// (faultinject.AllocFail) ahead of the budget check. Set once at
+	// engine construction, before any allocation.
+	Faults *faultinject.Injector
+
 	mu    sync.Mutex
 	limit uint64
 	used  [AreaCount]uint64
@@ -270,10 +285,13 @@ func (c *Cache) HugeCovers(addr uint64) bool {
 // It fails when the total limit would be exceeded (the VM then stops
 // JITing, falling back to the interpreter — point D in Figure 9).
 func (c *Cache) Alloc(area Area, size uint64) (uint64, error) {
+	if c.Faults.Should(faultinject.AllocFail) {
+		return 0, faultinject.Errf(faultinject.AllocFail)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.limit > 0 && c.TotalUsedLocked()+size > c.limit {
-		return 0, fmt.Errorf("mcode: code cache full (limit %d)", c.limit)
+		return 0, fmt.Errorf("mcode: %w (limit %d)", ErrCacheFull, c.limit)
 	}
 	base := areaBase[area] + c.next[area]
 	c.next[area] += size

@@ -143,7 +143,11 @@ func assembleWithSites(t *testing.T) *mcode.Code {
 		},
 		Imms: []vasm.ImmValue{{Kind: types.KInt, I: 1}},
 	}
-	return mcode.Assemble(u)
+	c, err := mcode.Assemble(u)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return c
 }
 
 func TestLinkSlabStoreLoadSweep(t *testing.T) {
@@ -192,11 +196,14 @@ func TestLinkSlabStoreLoadSweep(t *testing.T) {
 func TestAssembleSlabOnlyForSmashSites(t *testing.T) {
 	// A translation without smash sites carries no slab: stores are
 	// no-ops and nothing is ever bound.
-	plain := mcode.Assemble(&vasm.Unit{
+	plain, err := mcode.Assemble(&vasm.Unit{
 		Blocks: []*vasm.Block{{ID: 0, Instrs: []vasm.Instr{
 			{Op: vasm.Ret, D: vasm.InvalidReg, A: 0, B: vasm.InvalidReg},
 		}}},
 	})
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
 	plain.StoreLink(0, &mcode.Link{Epoch: 1})
 	if plain.LoadLink(0) != nil {
 		t.Error("slab-less translation accepted a link")

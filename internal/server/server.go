@@ -29,10 +29,11 @@ type Sample struct {
 	// RPSPct is throughput relative to steady state (100 = steady).
 	RPSPct float64
 	// Event holds the lifecycle points reached this minute, in a fixed
-	// "J", "A", "C", "D" order ("J" jumpstarted from a snapshot, "A"
-	// profiling done, "C" optimized published, "D" cache full).
-	// Coincident events all appear: a minute where profiling finishes
-	// and the optimized code is published reads "AC".
+	// "J", "A", "C", "D", "F", "R" order ("J" jumpstarted from a
+	// snapshot, "A" profiling done, "C" optimized published, "D" cache
+	// full, "F" first contained translation fault, "R" first code-cache
+	// recycle). Coincident events all appear: a minute where profiling
+	// finishes and the optimized code is published reads "AC".
 	Event string
 }
 
@@ -114,6 +115,12 @@ type Result struct {
 	BindsSmashed     uint64
 	ChainedTransfers uint64
 	LinksSwept       uint64
+	// Self-healing activity over the run (zero in fault-free runs):
+	// contained translation faults, translations evicted by cache
+	// recycling, and recycle episodes (DESIGN.md §11).
+	TransFaults uint64
+	Evictions   uint64
+	RecycleRuns uint64
 }
 
 // Simulate runs the restart timeline.
@@ -208,6 +215,8 @@ func Simulate(cfg Config) (*Result, error) {
 	sawOptimize := cfg.Jumpstart != nil && res.JumpstartLoad.Optimized
 	sawProfilingDone := sawOptimize
 	sawFull := false
+	sawFault := false
+	sawRecycle := false
 	jumpEvent := sawOptimize
 	for minute := 0; minute < cfg.Minutes; minute++ {
 		// Fleet-wave overload window: load balancers shift traffic of
@@ -290,6 +299,14 @@ func Simulate(cfg Config) (*Result, error) {
 			ev += "D"
 			sawFull = true
 		}
+		if !sawFault && st.TransFaults > 0 {
+			ev += "F"
+			sawFault = true
+		}
+		if !sawRecycle && st.RecycleRuns > 0 {
+			ev += "R"
+			sawRecycle = true
+		}
 		res.Samples = append(res.Samples, Sample{
 			Minute:    float64(minute + 1),
 			CodeBytes: code,
@@ -307,6 +324,9 @@ func Simulate(cfg Config) (*Result, error) {
 	res.BindsSmashed = st.BindsSmashed
 	res.ChainedTransfers = st.ChainedJumps + st.ChainedCalls
 	res.LinksSwept = st.LinksSwept
+	res.TransFaults = st.TransFaults
+	res.Evictions = st.Evictions
+	res.RecycleRuns = st.RecycleRuns
 	res.MinutesTo90 = -1
 	for _, s := range res.Samples {
 		if s.RPSPct >= 90 {
@@ -360,5 +380,9 @@ func Report(w io.Writer, r *Result) {
 	if r.BindsSmashed > 0 {
 		fmt.Fprintf(w, "chaining: %d sites smashed, %d direct transfers, %d links swept at publish\n",
 			r.BindsSmashed, r.ChainedTransfers, r.LinksSwept)
+	}
+	if r.TransFaults > 0 || r.RecycleRuns > 0 {
+		fmt.Fprintf(w, "self-healing: %d faults contained, %d recycle runs, %d translations evicted\n",
+			r.TransFaults, r.RecycleRuns, r.Evictions)
 	}
 }

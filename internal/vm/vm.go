@@ -67,6 +67,7 @@ func (v *VM) wire() {
 	v.Machine.CallGuest = v.callFromJIT
 	v.Machine.Epoch = v.JIT.EpochVar()
 	v.Machine.Chain = &v.JIT.Chain
+	v.Machine.FI = v.JIT.Cfg.Faults
 	v.Machine.Fallback = func(fnID, pc int, fr *interp.Frame) machine.ChainTarget {
 		if tr := v.JIT.ChainFallback(fnID, pc, fr, v.Meter); tr != nil {
 			return tr
@@ -261,6 +262,20 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf, tr0 *jit.Translation) (runtime
 			if herr := v.unwind(fr, out.BCOff, out.Err); herr != nil {
 				return runtime.Null(), first, herr
 			}
+			continue
+		case machine.Faulted:
+			// Contained translation fault (DESIGN.md §11): the machine
+			// caught a panic or internal error and rewound the frame to
+			// the translation's entry. Record it (repeat offenders are
+			// demoted and unpublished), then re-execute the region in the
+			// interpreter so the request completes with identical
+			// semantics. One forced interpreter stretch avoids bouncing
+			// straight back into the same translation.
+			v.JIT.RecordFault(fr.Fn.ID, out.BCOff)
+			fr.PC = out.BCOff
+			skipJIT = true
+			lastProf = nil
+			bindCode = nil
 			continue
 		}
 	}
