@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|chain|faults|all [-quick] [-workers N] [-json path]
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|chain|faults|fleet|all [-quick] [-workers N] [-json path]
 //
 // With -json, the rows of the machine-readable experiments (fig8,
-// chain, and faults) are also written to the given path as a JSON
-// document, so CI can archive guest-cycles/req, smashed-vs-dispatched
-// bind counts, host ns/req, and fault-containment counters across
-// runs.
+// chain, faults, and fleet) are also written to the given path as a
+// JSON document, so CI can archive guest-cycles/req plus wall-clock
+// host timings, smashed-vs-dispatched bind counts, fault-containment
+// counters, and the fleet scenarios' warmup/capacity/shedding metrics
+// across runs.
 package main
 
 import (
@@ -29,10 +30,11 @@ type jsonReport struct {
 	Fig8   []experiments.Fig8Row     `json:"fig8,omitempty"`
 	Chain  []experiments.ChainRow    `json:"chain,omitempty"`
 	Faults *experiments.FaultsResult `json:"faults,omitempty"`
+	Fleet  *experiments.FleetResult  `json:"fleet,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, chain, faults, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, chain, faults, fleet, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
 	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
 	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, chain, faults) to this path")
@@ -128,6 +130,15 @@ func main() {
 			return fmt.Errorf("faulty run %.1f%% slower than baseline (budget 25%%)", res.SlowdownPct)
 		}
 		return nil
+	})
+	run("fleet", func(perflab.Config) error {
+		res, err := experiments.Fleet(*quick)
+		if err != nil {
+			return err
+		}
+		experiments.ReportFleet(os.Stdout, res)
+		report.Fleet = res
+		return res.Check()
 	})
 	run("fig10", func(pc perflab.Config) error {
 		rows, err := experiments.Fig10(pc)

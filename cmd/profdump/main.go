@@ -6,7 +6,7 @@
 //
 //	profdump inspect file
 //	profdump diff a b
-//	profdump merge -o out [-decay d] file...
+//	profdump merge -o out [-decay d] [-verify] file...
 //
 // merge aggregates fleet snapshots with exponential decay: with files
 // oldest first, file i of n gets weight d^(n-1-i), so the newest
@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math"
@@ -50,7 +51,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   profdump inspect file
   profdump diff a b
-  profdump merge -o out [-decay d] file...`)
+  profdump merge -o out [-decay d] [-verify] file...`)
 	os.Exit(2)
 }
 
@@ -166,6 +167,7 @@ func merge(argv []string) {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	out := fs.String("o", "", "output snapshot file (required)")
 	decay := fs.Float64("decay", 1.0, "per-generation weight decay, newest file last")
+	verify := fs.Bool("verify", false, "re-merge the inputs in reverse order and fail unless the aggregates are bit-identical")
 	if err := fs.Parse(argv); err != nil {
 		usage()
 	}
@@ -183,6 +185,21 @@ func merge(argv []string) {
 		weights[i] = math.Pow(*decay, float64(len(files)-1-i))
 	}
 	merged := jumpstart.Merge(snaps, weights)
+	if *verify {
+		// The aggregator contract: merge order must not matter. Replay
+		// the same merge with the file list (and weights) reversed and
+		// require the canonical encodings to match bit for bit.
+		rs := make([]*jumpstart.Snapshot, len(snaps))
+		rw := make([]float64, len(weights))
+		for i := range snaps {
+			rs[i] = snaps[len(snaps)-1-i]
+			rw[i] = weights[len(weights)-1-i]
+		}
+		if !bytes.Equal(jumpstart.Encode(merged), jumpstart.Encode(jumpstart.Merge(rs, rw))) {
+			fatal(fmt.Errorf("merge is order-dependent: reversed input order produced a different aggregate"))
+		}
+		fmt.Println("verify: merge order-independent")
+	}
 	if err := jumpstart.Save(*out, merged); err != nil {
 		fatal(err)
 	}

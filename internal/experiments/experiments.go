@@ -29,8 +29,11 @@ var Full = perflab.Config{WarmupRequests: 60, MeasureRequests: 15}
 // Fig8Row is one bar of Figure 8.
 type Fig8Row struct {
 	Mode string
-	// CyclesPerReq is the weighted mean cost.
+	// CyclesPerReq is the weighted mean cost in simulated guest
+	// cycles; HostNsPerReq the wall-clock host time per measured
+	// request alongside it.
 	CyclesPerReq float64
+	HostNsPerReq float64
 	// RelPerf is performance relative to JIT-Region (100 = region).
 	RelPerf float64
 }
@@ -43,11 +46,17 @@ func Fig8(pc perflab.Config) ([]Fig8Row, error) {
 	for _, m := range modes {
 		cfg := jit.DefaultConfig()
 		cfg.Mode = m
+		start := time.Now()
 		r, err := perflab.Measure(cfg, pc)
+		elapsed := time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("fig8 %s: %w", m, err)
 		}
-		rows = append(rows, Fig8Row{Mode: m.String(), CyclesPerReq: r.WeightedMean})
+		row := Fig8Row{Mode: m.String(), CyclesPerReq: r.WeightedMean}
+		if r.MeasuredRequests > 0 {
+			row.HostNsPerReq = float64(elapsed.Nanoseconds()) / float64(r.MeasuredRequests)
+		}
+		rows = append(rows, row)
 		if m == jit.ModeRegion {
 			regionMean = r.WeightedMean
 		}
@@ -63,12 +72,12 @@ func Fig8(pc perflab.Config) ([]Fig8Row, error) {
 // ReportFig8 renders the table.
 func ReportFig8(w io.Writer, rows []Fig8Row) {
 	fmt.Fprintf(w, "Figure 8 — relative performance of execution modes (region = 100%%)\n")
-	fmt.Fprintf(w, "%-12s %14s %10s %18s\n", "mode", "cycles/req", "relative", "paper reports")
+	fmt.Fprintf(w, "%-12s %14s %12s %10s %18s\n", "mode", "cycles/req", "host ns/req", "relative", "paper reports")
 	paper := map[string]string{
 		"interp": "12.8%", "tracelet": "82.2%", "profiling": "39.8%", "region": "100%",
 	}
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %14.0f %9.1f%% %18s\n", r.Mode, r.CyclesPerReq, r.RelPerf, paper[r.Mode])
+		fmt.Fprintf(w, "%-12s %14.0f %12.0f %9.1f%% %18s\n", r.Mode, r.CyclesPerReq, r.HostNsPerReq, r.RelPerf, paper[r.Mode])
 	}
 }
 

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+	"repro/internal/jit"
+	"repro/internal/server"
+)
+
+// ---------- Fleet: fleet-scale serving with profile aggregation ----------
+
+// FleetResult bundles the fleet experiment's four scenarios plus the
+// derived acceptance metrics.
+//
+// Scenario (a) — warm vs cold restart: one host of a warmed fleet
+// restarts, once cold (re-profiles from scratch) and once pulling the
+// profile aggregator's warm aggregate; the headline is the ratio of
+// their time-to-90%-steady-RPS.
+//
+// Scenario (b) — rolling deploy: every host of an 8-host fleet
+// restarts in a staggered wave with warm aggregates, and the fleet
+// must keep carrying at least 80% of offered demand throughout the
+// deploy window.
+//
+// Scenario (c) — overload: demand doubles for nine minutes. With
+// shedding wired to the degradation ladder the hottest hosts drop to
+// interp-only and everyone survives; with shedding disabled the
+// weakest hosts die and their load cascades the fleet to death.
+type FleetResult struct {
+	// Cold / Warm are scenario (a)'s timelines.
+	Cold *fleet.Result `json:"cold"`
+	Warm *fleet.Result `json:"warm"`
+	// ColdRestartTo90 / WarmRestartTo90 are the restarted host's
+	// minutes back to 90% of its steady RPS
+	// (server.MinutesTo90Never = never in-window).
+	ColdRestartTo90 float64 `json:"coldRestartTo90"`
+	WarmRestartTo90 float64 `json:"warmRestartTo90"`
+	// WarmSpeedupX is cold/warm restart-to-90 (a lower bound when the
+	// cold restart never got there in-window).
+	WarmSpeedupX float64 `json:"warmSpeedupX"`
+
+	// Rolling is scenario (b); RollingMinCapPct the worst
+	// served/offered percentage over the deploy window.
+	Rolling          *fleet.Result `json:"rolling"`
+	RollingMinCapPct float64       `json:"rollingMinCapPct"`
+
+	// Shed / NoShed are scenario (c)'s contrasting runs.
+	Shed   *fleet.Result `json:"shed"`
+	NoShed *fleet.Result `json:"noShed"`
+	// InterpOnlyHosts counts hosts the shedding run walked all the way
+	// to interp-only; ShedDeaths / NoShedDeaths the hosts lost with
+	// and without shedding.
+	InterpOnlyHosts int `json:"interpOnlyHosts"`
+	ShedDeaths      int `json:"shedDeaths"`
+	NoShedDeaths    int `json:"noShedDeaths"`
+
+	// Mismatches totals request outputs that differed from single-host
+	// serving across every scenario (must be 0).
+	Mismatches uint64 `json:"mismatches"`
+	// WallMS is host wall-clock milliseconds per scenario run — the
+	// real-time cost alongside the simulated guest-cycle numbers.
+	WallMS map[string]float64 `json:"wallMS"`
+}
+
+// Fleet runs the four fleet scenarios. quick trims the simulated-user
+// population; the fleet shapes and horizons stay at acceptance size
+// (the simulation is cheap enough that CI runs the full shapes).
+func Fleet(quick bool) (*FleetResult, error) {
+	res := &FleetResult{WallMS: map[string]float64{}}
+
+	runScenario := func(name string, cfg fleet.Config) (*fleet.Result, error) {
+		r, err := fleet.Simulate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s: %w", name, err)
+		}
+		res.WallMS[name] = float64(r.WallClock.Microseconds()) / 1000
+		res.Mismatches += r.OutputMismatches
+		return r, nil
+	}
+
+	base := fleet.DefaultConfig()
+	if quick {
+		base.Users = 200_000
+	}
+
+	// (a) Warm vs cold restart of one host in a 4-host fleet.
+	restartCfg := base
+	restartCfg.Hosts = 4
+	restartCfg.Minutes = 18
+	restartCfg.RestartAt = 8
+	restartCfg.RestartCount = 1
+	var err error
+	if res.Cold, err = runScenario("cold-restart", restartCfg); err != nil {
+		return nil, err
+	}
+	warmCfg := restartCfg
+	warmCfg.WarmRestart = true
+	if res.Warm, err = runScenario("warm-restart", warmCfg); err != nil {
+		return nil, err
+	}
+	res.ColdRestartTo90 = restartTo90(res.Cold)
+	res.WarmRestartTo90 = restartTo90(res.Warm)
+	cold, warm := res.ColdRestartTo90, res.WarmRestartTo90
+	if cold == server.MinutesTo90Never {
+		// Never reached in-window: score the window end as a lower
+		// bound so the speedup stays a conservative underestimate.
+		cold = float64(restartCfg.Minutes - restartCfg.RestartAt - restartCfg.RestartDown)
+	}
+	if warm != server.MinutesTo90Never && warm > 0 {
+		res.WarmSpeedupX = cold / warm
+	}
+
+	// (b) Warm rolling deploy across all 8 hosts.
+	rollCfg := base
+	rollCfg.Minutes = 22
+	rollCfg.RestartAt = 10
+	rollCfg.WarmRestart = true
+	rollCfg.DiurnalAmp = 0.1
+	if res.Rolling, err = runScenario("rolling-deploy", rollCfg); err != nil {
+		return nil, err
+	}
+	// Deploy window: first host down through last host's first minute
+	// back in rotation.
+	deployEnd := rollCfg.RestartAt + (rollCfg.Hosts-1)*rollCfg.RestartStagger + rollCfg.RestartDown + 1
+	res.RollingMinCapPct = res.Rolling.MinCapacityPct(rollCfg.RestartAt+1, deployEnd+1)
+
+	// (c) 2x overload for nine minutes, shedding on vs off. Flat
+	// diurnal so the overload window is the only demand perturbation.
+	overCfg := base
+	overCfg.Minutes = 24
+	overCfg.DiurnalAmp = 0
+	overCfg.OverloadAt = 9
+	overCfg.OverloadMinutes = 9
+	overCfg.ShedRatio = 1.25
+	if res.Shed, err = runScenario("overload-shed", overCfg); err != nil {
+		return nil, err
+	}
+	noShedCfg := overCfg
+	noShedCfg.DisableShed = true
+	noShedCfg.DeathBacklog = 1.5
+	if res.NoShed, err = runScenario("overload-noshed", noShedCfg); err != nil {
+		return nil, err
+	}
+	for _, d := range res.Shed.MaxDegradePerHost {
+		if d >= jit.DegradeInterpOnly {
+			res.InterpOnlyHosts++
+		}
+	}
+	res.ShedDeaths = res.Shed.HostsDied
+	res.NoShedDeaths = res.NoShed.HostsDied
+	return res, nil
+}
+
+// restartTo90 pulls the restarted host's warmup metric from scenario
+// (a)'s single restart record.
+func restartTo90(r *fleet.Result) float64 {
+	if len(r.Restarts) == 0 {
+		return server.MinutesTo90Never
+	}
+	return r.Restarts[0].MinutesTo90
+}
+
+// Check validates the acceptance criteria; the first failure is
+// returned as an error so bench can gate CI on it.
+func (r *FleetResult) Check() error {
+	if r.Mismatches > 0 {
+		return fmt.Errorf("%d request outputs diverged from single-host serving", r.Mismatches)
+	}
+	if r.WarmRestartTo90 == server.MinutesTo90Never {
+		return fmt.Errorf("warm-aggregate restart never reached 90%% steady RPS")
+	}
+	if r.WarmSpeedupX < 2 {
+		return fmt.Errorf("warm restart only %.2fx faster than cold to 90%% steady RPS (need >= 2x)", r.WarmSpeedupX)
+	}
+	if r.RollingMinCapPct < 80 {
+		return fmt.Errorf("rolling deploy dropped fleet capacity to %.1f%% (need >= 80%%)", r.RollingMinCapPct)
+	}
+	if r.InterpOnlyHosts == 0 {
+		return fmt.Errorf("overload with shedding never degraded a host to interp-only")
+	}
+	if r.ShedDeaths > 0 {
+		return fmt.Errorf("%d hosts died under overload despite shedding", r.ShedDeaths)
+	}
+	return nil
+}
+
+// ReportFleet renders the scenario summaries, the full rolling-deploy
+// timeline, and the acceptance verdicts.
+func ReportFleet(w io.Writer, r *FleetResult) {
+	fmt.Fprintf(w, "Fleet — fleet-scale serving with central profile aggregation (DESIGN.md §12)\n\n")
+
+	fmt.Fprintf(w, "(a) restart one of %d hosts, cold vs warm-aggregate jumpstart:\n", r.Cold.Hosts)
+	fmt.Fprintf(w, "    cold  restart to 90%% steady RPS: %s\n", fmtMinutesTo90(r.ColdRestartTo90))
+	fmt.Fprintf(w, "    warm  restart to 90%% steady RPS: %s", fmtMinutesTo90(r.WarmRestartTo90))
+	if len(r.Warm.Restarts) > 0 {
+		rec := r.Warm.Restarts[0]
+		fmt.Fprintf(w, "  (%d translations, aggregate %.0f min stale)", rec.LoadedTrans, rec.StalenessMin)
+	}
+	fmt.Fprintf(w, "\n    warm speedup: %.1fx (acceptance: >= 2x)\n\n", r.WarmSpeedupX)
+
+	fmt.Fprintf(w, "(b) warm rolling deploy across all %d hosts:\n", r.Rolling.Hosts)
+	fmt.Fprintf(w, "    min fleet capacity during deploy window: %.1f%% (acceptance: >= 80%%)\n", r.RollingMinCapPct)
+	fmt.Fprintf(w, "    restarts: %d, hosts died: %d\n\n", len(r.Rolling.Restarts), r.Rolling.HostsDied)
+
+	fmt.Fprintf(w, "(c) 2x overload for 9 minutes, shed (degradation ladder) vs no-shed:\n")
+	fmt.Fprintf(w, "    shed:    %d/%d hosts walked to interp-only, %d died, %.0f requests shed\n",
+		r.InterpOnlyHosts, r.Shed.Hosts, r.ShedDeaths, r.Shed.ShedRequests)
+	fmt.Fprintf(w, "    no-shed: %d/%d hosts died, %.0f requests lost\n\n",
+		r.NoShedDeaths, r.NoShed.Hosts, r.NoShed.LostRequests)
+
+	fmt.Fprintf(w, "output mismatches vs single-host serving (all runs): %d\n", r.Mismatches)
+	fmt.Fprintf(w, "wall clock per scenario (ms):")
+	for _, k := range []string{"cold-restart", "warm-restart", "rolling-deploy", "overload-shed", "overload-noshed"} {
+		fmt.Fprintf(w, " %s=%.0f", k, r.WallMS[k])
+	}
+	fmt.Fprintf(w, "\n\n--- rolling-deploy timeline ---\n")
+	fleet.Report(w, r.Rolling)
+}
+
+func fmtMinutesTo90(m float64) string {
+	if m == server.MinutesTo90Never {
+		return "never (in-window)"
+	}
+	return fmt.Sprintf("%.0f min", m)
+}

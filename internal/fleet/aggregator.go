@@ -1,0 +1,168 @@
+// Package fleet scales the single-host restart simulation of
+// internal/server to a fleet: N hosts behind a load-balancer model,
+// driven by diurnal Zipfian traffic from a simulated user population,
+// orchestrated through rolling restarts, with a central
+// profile-aggregation service that continuously merges the hosts'
+// jumpstart snapshots and hands the warm aggregate to every
+// restarting host (DESIGN.md §12). Overload is wired to the PR 5
+// degradation ladder: a drowning host sheds JIT work down to
+// interp-only and keeps serving at reduced capacity instead of dying.
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/jumpstart"
+)
+
+// Aggregator is the central profile-aggregation service. Hosts
+// periodically ship their jumpstart snapshots (Publish); the service
+// merges them into a single decay-weighted aggregate (MergeRound,
+// PR 1's commutative merge) and publishes it through an atomic
+// pointer, so a restarting host pulls the warm aggregate (Warm)
+// lock-free even while a merge is in flight — the same RCU publish
+// discipline the translation index uses.
+type Aggregator struct {
+	// Decay is the per-merge-round weight applied to the previous
+	// aggregate: history fades at this rate while each round's fresh
+	// snapshots come in at weight 1.
+	Decay float64
+
+	mu sync.Mutex
+	// pending holds the latest unmerged snapshot per host; a host
+	// publishing twice between rounds replaces its earlier snapshot
+	// (the aggregator wants current profiles, not a backlog).
+	pending map[int]*jumpstart.Snapshot
+
+	// agg is the published aggregate. Snapshots are immutable once
+	// published, so readers need no lock.
+	agg atomic.Pointer[jumpstart.Snapshot]
+
+	publishes   atomic.Uint64
+	mergeRounds atomic.Uint64
+	pulls       atomic.Uint64
+	merged      atomic.Uint64 // snapshots folded in across all rounds
+	// lastMerge is the simulated minute of the last completed round,
+	// stored as math.Float64bits; NaN until the first round.
+	lastMerge atomic.Uint64
+}
+
+// NewAggregator builds the service. decay outside (0, 1] falls back
+// to 0.9 — yesterday's profile fades but never vanishes.
+func NewAggregator(decay float64) *Aggregator {
+	if decay <= 0 || decay > 1 {
+		decay = 0.9
+	}
+	a := &Aggregator{Decay: decay, pending: map[int]*jumpstart.Snapshot{}}
+	a.lastMerge.Store(math.Float64bits(math.NaN()))
+	return a
+}
+
+// Publish ships one host's current profile snapshot to the service.
+// The snapshot must not be mutated after publishing (SnapshotProfile
+// returns a fresh copy each call, so hosts naturally comply).
+func (a *Aggregator) Publish(host int, s *jumpstart.Snapshot) {
+	if s == nil {
+		return
+	}
+	a.mu.Lock()
+	a.pending[host] = s
+	a.mu.Unlock()
+	a.publishes.Add(1)
+}
+
+// MergeRound folds every pending snapshot into the aggregate in one
+// commutative merge — the previous aggregate at weight Decay, each
+// fresh snapshot at weight 1 — and publishes the result. minute
+// stamps the round for staleness accounting. Returns the number of
+// snapshots folded in.
+func (a *Aggregator) MergeRound(minute float64) int {
+	a.mu.Lock()
+	if len(a.pending) == 0 {
+		a.mu.Unlock()
+		return 0
+	}
+	hosts := make([]int, 0, len(a.pending))
+	for h := range a.pending {
+		hosts = append(hosts, h)
+	}
+	sort.Ints(hosts)
+	snaps := make([]*jumpstart.Snapshot, 0, len(hosts)+1)
+	weights := make([]float64, 0, len(hosts)+1)
+	if prev := a.agg.Load(); prev != nil {
+		snaps = append(snaps, prev)
+		weights = append(weights, a.Decay)
+	}
+	for _, h := range hosts {
+		snaps = append(snaps, a.pending[h])
+		weights = append(weights, 1)
+	}
+	a.pending = map[int]*jumpstart.Snapshot{}
+	merged := jumpstart.Merge(snaps, weights)
+	a.agg.Store(merged)
+	a.mu.Unlock()
+
+	a.mergeRounds.Add(1)
+	a.merged.Add(uint64(len(hosts)))
+	a.lastMerge.Store(math.Float64bits(minute))
+	return len(hosts)
+}
+
+// Warm returns the current warm aggregate (nil before the first
+// round). Lock-free: safe to call while publishes and merges are in
+// flight — the caller gets the last published aggregate, never a
+// partially merged one.
+func (a *Aggregator) Warm() *jumpstart.Snapshot {
+	a.pulls.Add(1)
+	return a.agg.Load()
+}
+
+// StalenessAt reports how many minutes the published aggregate lags
+// behind the given minute — the fleet-level staleness metric. Before
+// the first merge round it reports the full elapsed time (everything
+// is stale when nothing has been aggregated).
+func (a *Aggregator) StalenessAt(minute float64) float64 {
+	last := math.Float64frombits(a.lastMerge.Load())
+	if math.IsNaN(last) {
+		return minute
+	}
+	return minute - last
+}
+
+// AggregatorStats is the service's activity summary.
+type AggregatorStats struct {
+	// Publishes / MergeRounds / Pulls count API calls; MergedSnapshots
+	// counts snapshots folded into the aggregate across all rounds.
+	Publishes       uint64
+	MergeRounds     uint64
+	Pulls           uint64
+	MergedSnapshots uint64
+	// Funcs / Trans describe the current aggregate's size.
+	Funcs int
+	Trans int
+	// LastMergeMinute is the stamp of the latest round (-1 before the
+	// first).
+	LastMergeMinute float64
+}
+
+// Stats snapshots the service counters.
+func (a *Aggregator) Stats() AggregatorStats {
+	st := AggregatorStats{
+		Publishes:       a.publishes.Load(),
+		MergeRounds:     a.mergeRounds.Load(),
+		Pulls:           a.pulls.Load(),
+		MergedSnapshots: a.merged.Load(),
+		LastMergeMinute: -1,
+	}
+	if last := math.Float64frombits(a.lastMerge.Load()); !math.IsNaN(last) {
+		st.LastMergeMinute = last
+	}
+	if agg := a.agg.Load(); agg != nil {
+		st.Funcs = len(agg.Funcs)
+		st.Trans = agg.NumTrans()
+	}
+	return st
+}

@@ -1,0 +1,58 @@
+package fleet
+
+// Load-balancer model: weighted least-loaded routing with per-host
+// health. Each minute the balancer splits the offered request volume
+// across healthy hosts. A host's routing weight is its capacity
+// factor (fleets mix hardware generations) discounted by its current
+// backlog relative to capacity — the "least loaded" feedback that
+// steers traffic away from hosts that are warming up, shedding, or
+// digging out of a queue. A configurable fraction of traffic is
+// sprayed uniformly instead (health-checked round-robin components in
+// front of the weighted tier), which is what makes the weaker hosts
+// run proportionally hotter under fleet-wide overload.
+
+// assign splits offered requests across hosts for one minute.
+// Unhealthy hosts (down, dead) receive nothing. Returns per-host
+// request shares summing to offered (0 everywhere when no host is
+// routable — that traffic is lost, counted by the caller).
+func assign(offered float64, hosts []*host, uniformFrac float64) []float64 {
+	shares := make([]float64, len(hosts))
+	if offered <= 0 {
+		return shares
+	}
+	weights := make([]float64, len(hosts))
+	var wsum float64
+	up := 0
+	for i, h := range hosts {
+		if !h.routable() {
+			continue
+		}
+		up++
+		// Least-loaded: discount capacity by the backlog already
+		// queued, measured in minutes of work at full speed.
+		w := h.capFactor / (1 + h.backlog/h.capacityRPS)
+		weights[i] = w
+		wsum += w
+	}
+	if up == 0 {
+		return shares
+	}
+	if uniformFrac < 0 {
+		uniformFrac = 0
+	}
+	if uniformFrac > 1 {
+		uniformFrac = 1
+	}
+	uniform := offered * uniformFrac / float64(up)
+	weighted := offered * (1 - uniformFrac)
+	for i, h := range hosts {
+		if !h.routable() {
+			continue
+		}
+		shares[i] = uniform
+		if wsum > 0 {
+			shares[i] += weighted * weights[i] / wsum
+		}
+	}
+	return shares
+}

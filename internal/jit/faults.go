@@ -364,5 +364,33 @@ func (j *JIT) escalateDegrade() {
 // DegradeLevel returns the current degradation-ladder level.
 func (j *JIT) DegradeLevel() int32 { return j.degrade.Load() }
 
+// Shed forces the degradation ladder down to at least level — the
+// overload hook fleet serving uses: a host drowning in traffic sheds
+// JIT work (first live minting, then all minting, finally JITed
+// execution itself) and keeps answering requests at reduced capacity
+// instead of dying. Levels beyond DegradeInterpOnly clamp; Shed never
+// raises a host back up (see RecoverShed).
+func (j *JIT) Shed(level int32) {
+	if level > DegradeInterpOnly {
+		level = DegradeInterpOnly
+	}
+	for {
+		cur := j.degrade.Load()
+		if cur >= level {
+			return
+		}
+		if j.degrade.CompareAndSwap(cur, level) {
+			return
+		}
+	}
+}
+
+// RecoverShed walks the degradation ladder fully back to normal
+// operation once overload passes. Published translations were never
+// discarded, so the next dispatch resumes optimized execution
+// immediately; the cache-full latch is left alone (it belongs to the
+// recycler, not the overload ladder).
+func (j *JIT) RecoverShed() { j.degrade.Store(DegradeNone) }
+
 // CacheFull reports whether the cache-full latch is currently set.
 func (j *JIT) CacheFull() bool { return j.cacheFull.Load() }

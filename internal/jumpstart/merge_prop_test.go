@@ -1,0 +1,139 @@
+package jumpstart
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the aggregator's contract: Merge must be
+// order-independent (commutative over its input list, with weights
+// permuted alongside) and, at unit weights, associative — so a
+// central service folding N host snapshots in any grouping or
+// arrival order produces bit-identical aggregates.
+
+// randSnapshot builds a pseudo-random but deterministic snapshot:
+// a handful of functions drawn from a small identity pool (so
+// distinct snapshots overlap, exercising the cross-snapshot summing
+// path), each with translations, arcs, call targets, and call-graph
+// edges.
+func randSnapshot(rng *rand.Rand) *Snapshot {
+	s := &Snapshot{}
+	nFuncs := 1 + rng.Intn(4)
+	for f := 0; f < nFuncs; f++ {
+		fp := FuncProfile{
+			Name: fmt.Sprintf("fn%d", rng.Intn(5)),
+			Hash: uint64(1 + rng.Intn(3)),
+		}
+		nTrans := 1 + rng.Intn(4)
+		for t := 0; t < nTrans; t++ {
+			tr := TransProfile{
+				PC:         rng.Intn(6),
+				EntryDepth: rng.Intn(2),
+				Count:      uint64(rng.Intn(10_000)),
+			}
+			for d := 0; d < tr.EntryDepth; d++ {
+				tr.EntryStackTypes = append(tr.EntryStackTypes, TypeRepr{Kind: uint16(rng.Intn(4))})
+			}
+			if rng.Intn(2) == 0 {
+				tr.Guards = append(tr.Guards, GuardRepr{
+					Stack: rng.Intn(2) == 0,
+					Slot:  rng.Intn(3),
+					Type:  TypeRepr{Kind: uint16(rng.Intn(4)), Exact: rng.Intn(2) == 0},
+				})
+			}
+			fp.Trans = append(fp.Trans, tr)
+		}
+		for a := 0; a < rng.Intn(3); a++ {
+			fp.Arcs = append(fp.Arcs, ArcWeight{
+				From:   rng.Intn(len(fp.Trans)),
+				To:     rng.Intn(len(fp.Trans)),
+				Weight: uint64(rng.Intn(500)),
+			})
+		}
+		if rng.Intn(2) == 0 {
+			fp.CallTargets = append(fp.CallTargets, CallTarget{
+				PC:    rng.Intn(6),
+				Class: fmt.Sprintf("C%d", rng.Intn(3)),
+				Count: uint64(rng.Intn(300)),
+			})
+		}
+		s.Funcs = append(s.Funcs, fp)
+	}
+	for e := 0; e < rng.Intn(3); e++ {
+		s.CallGraph = append(s.CallGraph, CallEdge{
+			Caller: rng.Intn(len(s.Funcs)),
+			Callee: rng.Intn(len(s.Funcs)),
+			Weight: uint64(rng.Intn(400)),
+		})
+	}
+	return s
+}
+
+// TestMergePermutationInvariant merges N snapshots with decay-style
+// weights under many random permutations (weights permuted with their
+// snapshots) and requires the canonical encoding to be bit-identical
+// every time.
+func TestMergePermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4) // N > 2: the aggregator folds whole rounds
+		snaps := make([]*Snapshot, n)
+		weights := make([]float64, n)
+		for i := range snaps {
+			snaps[i] = randSnapshot(rng)
+			weights[i] = []float64{1, 0.9, 0.5, 0.25}[rng.Intn(4)]
+		}
+		want := Encode(Merge(snaps, weights))
+		for p := 0; p < 6; p++ {
+			perm := rng.Perm(n)
+			ps := make([]*Snapshot, n)
+			pw := make([]float64, n)
+			for i, j := range perm {
+				ps[i] = snaps[j]
+				pw[i] = weights[j]
+			}
+			got := Encode(Merge(ps, pw))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trial %d perm %v: merge not order-independent", trial, perm)
+			}
+		}
+	}
+}
+
+// TestMergeAssociativeUnitWeights checks that at unit weights (no
+// decay rounding in play) grouping doesn't matter:
+// merge(merge(a,b),c) == merge(a,merge(b,c)) == merge(a,b,c).
+func TestMergeAssociativeUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		a, b, c := randSnapshot(rng), randSnapshot(rng), randSnapshot(rng)
+		flat := Encode(Merge([]*Snapshot{a, b, c}, nil))
+		left := Encode(Merge([]*Snapshot{Merge([]*Snapshot{a, b}, nil), c}, nil))
+		right := Encode(Merge([]*Snapshot{a, Merge([]*Snapshot{b, c}, nil)}, nil))
+		if !bytes.Equal(flat, left) || !bytes.Equal(flat, right) {
+			t.Fatalf("trial %d: unit-weight merge not associative", trial)
+		}
+	}
+}
+
+// TestMergeManySnapshotsMatchesPairwise replays the aggregator's
+// usage on the profdump side: one variadic N-way merge equals folding
+// the same snapshots in pairwise (left-associated) order at unit
+// weights.
+func TestMergeManySnapshotsMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	snaps := make([]*Snapshot, 6)
+	for i := range snaps {
+		snaps[i] = randSnapshot(rng)
+	}
+	nway := Encode(Merge(snaps, nil))
+	acc := snaps[0]
+	for _, s := range snaps[1:] {
+		acc = Merge([]*Snapshot{acc, s}, nil)
+	}
+	if !bytes.Equal(nway, Encode(acc)) {
+		t.Fatal("6-way merge differs from pairwise fold")
+	}
+}

@@ -104,7 +104,9 @@ type Result struct {
 	PctTimeInLiveCode float64
 	// MinutesTo90 is the first simulated minute at which throughput
 	// reached 90% of steady state (time-to-90%-steady-RPS, the warmup
-	// metric jumpstart attacks); -1 if never reached.
+	// metric jumpstart attacks); MinutesTo90Never if the run ended
+	// before getting there. Check Reached90 before treating it as a
+	// time.
 	MinutesTo90 float64
 	// JumpstartLoad reports snapshot acceptance when Config.Jumpstart
 	// was set.
@@ -122,6 +124,19 @@ type Result struct {
 	Evictions   uint64
 	RecycleRuns uint64
 }
+
+// MinutesTo90Never is the sentinel MinutesTo90 value (shared by the
+// fleet-level warmup metrics) reporting that throughput never reached
+// 90% of steady state within the simulated window. It is negative so
+// arithmetic misuse is loud; consumers must check Reached90 (or
+// compare against this constant) instead of reading the value as a
+// minute.
+const MinutesTo90Never = -1
+
+// Reached90 reports whether the run ever reached 90% of steady-state
+// RPS — whether MinutesTo90 holds a real minute rather than the
+// MinutesTo90Never sentinel.
+func (r *Result) Reached90() bool { return r.MinutesTo90 != MinutesTo90Never }
 
 // Simulate runs the restart timeline.
 func Simulate(cfg Config) (*Result, error) {
@@ -327,7 +342,7 @@ func Simulate(cfg Config) (*Result, error) {
 	res.TransFaults = st.TransFaults
 	res.Evictions = st.Evictions
 	res.RecycleRuns = st.RecycleRuns
-	res.MinutesTo90 = -1
+	res.MinutesTo90 = MinutesTo90Never
 	for _, s := range res.Samples {
 		if s.RPSPct >= 90 {
 			res.MinutesTo90 = s.Minute
@@ -368,7 +383,7 @@ func Report(w io.Writer, r *Result) {
 	}
 	fmt.Fprintf(w, "steady RPS=%.1f/min, steady code=%d bytes, live-code time share=%.1f%%\n",
 		r.SteadyRPS, r.SteadyCodeBytes, r.PctTimeInLiveCode)
-	if r.MinutesTo90 >= 0 {
+	if r.Reached90() {
 		fmt.Fprintf(w, "time to 90%% steady RPS: minute %.0f\n", r.MinutesTo90)
 	} else {
 		fmt.Fprintf(w, "time to 90%% steady RPS: not reached\n")

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Fleet traffic model: requests arrive from a large simulated user
+// population (millions of users, a Zipfian few of them responsible
+// for most traffic) against endpoints whose popularity is itself
+// skewed (the head endpoints dominate, the long tail is lukewarm),
+// modulated by a diurnal demand curve. This is the workload shape the
+// paper's fleet serves: Facebook-scale traffic is neither uniform
+// across users nor across endpoints nor across the day.
+
+// Traffic describes the fleet-level request source.
+type Traffic struct {
+	// eps is the endpoint suite in popularity-rank order (rank 0 is
+	// the hottest endpoint): the Zipf draw indexes into it.
+	eps []Endpoint
+	// Users is the simulated user-population size.
+	Users int
+	// UserS / EndpointS are the Zipf skew exponents (> 1; larger =
+	// more skewed).
+	UserS     float64
+	EndpointS float64
+}
+
+// NewTraffic ranks the endpoint suite by traffic weight and wraps it
+// in a Zipfian user/endpoint source. users is the simulated
+// population size; userS and endpointS are the Zipf exponents
+// (values <= 1 fall back to defaults 1.4 and 1.2).
+func NewTraffic(eps []Endpoint, users int, userS, endpointS float64) *Traffic {
+	ranked := append([]Endpoint(nil), eps...)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Weight > ranked[j].Weight })
+	if users < 1 {
+		users = 1
+	}
+	if userS <= 1 {
+		userS = 1.4
+	}
+	if endpointS <= 1 {
+		endpointS = 1.2
+	}
+	return &Traffic{eps: ranked, Users: users, UserS: userS, EndpointS: endpointS}
+}
+
+// Endpoints returns the suite in popularity-rank order.
+func (t *Traffic) Endpoints() []Endpoint { return t.eps }
+
+// Stream is one deterministic request stream drawn from the traffic
+// model — a host's (or a load generator's) view of arriving users and
+// the endpoints they hit. Streams with the same seed replay the same
+// request sequence.
+type Stream struct {
+	rng    *rand.Rand
+	userZ  *rand.Zipf
+	epZ    *rand.Zipf
+	parent *Traffic
+}
+
+// NewStream derives a seeded request stream.
+func (t *Traffic) NewStream(seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed))
+	return &Stream{
+		rng:    rng,
+		userZ:  rand.NewZipf(rng, t.UserS, 8, uint64(t.Users-1)),
+		epZ:    rand.NewZipf(rng, t.EndpointS, 4, uint64(len(t.eps)-1)),
+		parent: t,
+	}
+}
+
+// Next draws the next request: the active user's ID and the endpoint
+// they hit.
+func (s *Stream) Next() (user uint64, ep Endpoint) {
+	return s.userZ.Uint64(), s.parent.eps[s.epZ.Uint64()]
+}
+
+// Diurnal returns the demand multiplier at a simulated minute: a
+// sinusoid with one cycle per period, mean 1, swinging between 1-amp
+// (trough) and 1+amp (peak). period <= 0 or amp <= 0 disables the
+// curve (multiplier 1).
+func Diurnal(minute, period int, amp float64) float64 {
+	if period <= 0 || amp <= 0 {
+		return 1
+	}
+	return 1 + amp*math.Sin(2*math.Pi*float64(minute)/float64(period))
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func testTraffic() *Traffic {
+	eps := []Endpoint{
+		{Name: "light", Weight: 5},
+		{Name: "heavy", Weight: 60},
+		{Name: "mid", Weight: 35},
+	}
+	return NewTraffic(eps, 100_000, 1.4, 1.2)
+}
+
+// TestTrafficDeterministicStreams: equal seeds replay the identical
+// arrival sequence; different seeds diverge.
+func TestTrafficDeterministicStreams(t *testing.T) {
+	tr := testTraffic()
+	a, b := tr.NewStream(42), tr.NewStream(42)
+	diff := tr.NewStream(43)
+	sawDiff := false
+	for i := 0; i < 500; i++ {
+		ua, ea := a.Next()
+		ub, eb := b.Next()
+		if ua != ub || ea.Name != eb.Name {
+			t.Fatalf("same-seed streams diverged at %d", i)
+		}
+		ud, ed := diff.Next()
+		if ud != ua || ed.Name != ea.Name {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestTrafficZipfShape: user IDs stay inside the population, and the
+// Zipf skew makes the most popular endpoint dominate the least
+// popular one.
+func TestTrafficZipfShape(t *testing.T) {
+	tr := testTraffic()
+	s := tr.NewStream(7)
+	counts := map[string]int{}
+	users := map[uint64]struct{}{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		u, ep := s.Next()
+		if u >= uint64(tr.Users) {
+			t.Fatalf("user id %d outside population %d", u, tr.Users)
+		}
+		users[u] = struct{}{}
+		counts[ep.Name]++
+	}
+	if counts["heavy"] <= counts["light"] {
+		t.Fatalf("Zipf skew missing: heavy=%d light=%d", counts["heavy"], counts["light"])
+	}
+	if counts["heavy"] < counts["mid"] {
+		t.Fatalf("endpoint rank not by weight: heavy=%d mid=%d", counts["heavy"], counts["mid"])
+	}
+	// Zipfian activity: far fewer distinct users than requests (a
+	// heavy head), but more than a handful.
+	if len(users) >= n/2 || len(users) < 100 {
+		t.Fatalf("user activity skew off: %d distinct users over %d requests", len(users), n)
+	}
+}
+
+// TestDiurnal: flat when amp or period is zero, peaks a quarter into
+// the period, symmetric trough, never negative for amp <= 1.
+func TestDiurnal(t *testing.T) {
+	if m := Diurnal(5, 0, 0.3); m != 1 {
+		t.Fatalf("period 0: %v, want 1", m)
+	}
+	if m := Diurnal(5, 24, 0); m != 1 {
+		t.Fatalf("amp 0: %v, want 1", m)
+	}
+	if peak := Diurnal(6, 24, 0.2); math.Abs(peak-1.2) > 1e-9 {
+		t.Fatalf("peak = %v, want 1.2", peak)
+	}
+	if trough := Diurnal(18, 24, 0.2); math.Abs(trough-0.8) > 1e-9 {
+		t.Fatalf("trough = %v, want 0.8", trough)
+	}
+}
