@@ -11,9 +11,11 @@ package repro_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/jit"
+	"repro/internal/machine"
 	"repro/internal/perflab"
 	"repro/internal/server"
 )
@@ -180,4 +182,87 @@ func BenchmarkAblationRCESinking(b *testing.B) {
 	}
 	b.ReportMetric(100*(withoutCycles/withCycles-1), "slowdown-%")
 	b.ReportMetric(float64(withoutRC-withRC), "rc-ops-eliminated")
+}
+
+// BenchmarkMachineExec measures raw host dispatch throughput (PR 8):
+// wall-clock time per request through a fully warmed region JIT, with
+// dispatch fusion off (classic per-instruction accounting + switch),
+// on (superinstructions + per-run cycle settlement), and on with the
+// indirect handler table instead of the switch. Guest cycles are
+// identical in all three; ns/op is the host-side difference.
+func BenchmarkMachineExec(b *testing.B) {
+	variants := []struct {
+		name     string
+		fused    bool
+		handlers bool
+	}{
+		{"unfused", false, false},
+		{"fused", true, false},
+		{"fused-handler-table", true, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := jit.DefaultConfig()
+			cfg.FuseDispatch = v.fused
+			machine.SetHandlerTable(v.handlers)
+			defer machine.SetHandlerTable(false)
+			eng, eps, err := perflab.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm through the full lifecycle so the measured loop runs
+			// steady-state optimized code.
+			for i := 0; i < 40; i++ {
+				for _, ep := range eps {
+					if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			runtime.GC() // keep warmup garbage out of the timed loop
+			reqs := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, ep := range eps {
+					if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
+						b.Fatal(err)
+					}
+					reqs++
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(reqs), "host-ns/req")
+		})
+	}
+}
+
+// BenchmarkParallelCompile measures wall-clock time of the global
+// retranslation with the backend fanned over 1 vs N compile workers.
+// Each iteration builds a fresh engine (OptimizeAll runs once per JIT),
+// warms it far below the trigger to mint profiling translations, then
+// times the explicit OptimizeAll call.
+func BenchmarkParallelCompile(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := jit.DefaultConfig()
+				cfg.ProfileTrigger = 1 << 40 // never fires on its own
+				cfg.CompileWorkers = workers
+				eng, eps, err := perflab.NewEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for r := 0; r < 30; r++ {
+					for _, ep := range eps {
+						if _, _, err := perflab.RunEndpoint(eng, ep.Name); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StartTimer()
+				eng.VM.JIT.OptimizeAll()
+			}
+		})
+	}
 }

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|chain|faults|fleet|all [-quick] [-workers N] [-json path]
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|host|chain|faults|fleet|all
+//	      [-quick] [-workers N] [-json path] [-cpuprofile path] [-memprofile path]
 //
+// -exp also accepts a comma-separated list (e.g. -exp scale,host).
 // With -json, the rows of the machine-readable experiments (fig8,
-// chain, faults, and fleet) are also written to the given path as a
-// JSON document, so CI can archive guest-cycles/req plus wall-clock
-// host timings, smashed-vs-dispatched bind counts, fault-containment
-// counters, and the fleet scenarios' warmup/capacity/shedding metrics
-// across runs.
+// scale, host, chain, faults, and fleet) are also written to the
+// given path as a JSON document, so CI can archive guest-cycles/req
+// plus wall-clock host timings, smashed-vs-dispatched bind counts,
+// fault-containment counters, and the fleet scenarios'
+// warmup/capacity/shedding metrics across runs. -cpuprofile and
+// -memprofile write pprof profiles of whatever experiments ran —
+// the supported way to see where the simulated machine actually
+// spends host time (go tool pprof).
 package main
 
 import (
@@ -18,6 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/perflab"
@@ -27,19 +35,23 @@ import (
 // jsonReport is the -json output document. Only the experiments that
 // actually ran appear; the rest stay null.
 type jsonReport struct {
-	Fig8   []experiments.Fig8Row     `json:"fig8,omitempty"`
-	Chain  []experiments.ChainRow    `json:"chain,omitempty"`
-	Faults *experiments.FaultsResult `json:"faults,omitempty"`
-	Fleet  *experiments.FleetResult  `json:"fleet,omitempty"`
+	Fig8   []experiments.Fig8Row             `json:"fig8,omitempty"`
+	Scale  []experiments.ScalingRow          `json:"scale,omitempty"`
+	Host   *experiments.HostThroughputResult `json:"host,omitempty"`
+	Chain  []experiments.ChainRow            `json:"chain,omitempty"`
+	Faults *experiments.FaultsResult         `json:"faults,omitempty"`
+	Fleet  *experiments.FleetResult          `json:"fleet,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, jumpstart, scale, chain, faults, fleet, all")
+	exp := flag.String("exp", "all", "experiment (or comma-separated list): fig8, fig9, fig10, fig11, jumpstart, scale, host, chain, faults, fleet, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
 	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
-	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, chain, faults) to this path")
+	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, scale, host, chain, faults, fleet) to this path")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the faults experiment")
 	faultRate := flag.Float64("fault-rate", 0.01, "per-draw injection probability for the faults experiment")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file after the experiments")
 	flag.Parse()
 
 	pc := experiments.Full
@@ -47,10 +59,45 @@ func main() {
 		pc = experiments.Quick
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			os.Exit(1)
+		}
+	}()
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*exp, ",") {
+		selected[strings.TrimSpace(name)] = true
+	}
+
 	var report jsonReport
 
 	run := func(name string, f func(perflab.Config) error) {
-		if *exp != "all" && *exp != name {
+		if !selected["all"] && !selected[name] {
 			return
 		}
 		fmt.Printf("\n===== %s =====\n", name)
@@ -105,6 +152,23 @@ func main() {
 			return err
 		}
 		experiments.ReportScaling(os.Stdout, rows)
+		report.Scale = rows
+		return nil
+	})
+	run("host", func(pc perflab.Config) error {
+		res, err := experiments.HostThroughput(pc)
+		if err != nil {
+			return err
+		}
+		experiments.ReportHostThroughput(os.Stdout, res)
+		report.Host = res
+		// Regression gate: fused dispatch must never cost more than
+		// 10% over classic dispatch on the same host (it should be
+		// strictly faster; the slack absorbs shared-runner noise).
+		if res.FusedNsPerReq > 1.10*res.UnfusedNsPerReq {
+			return fmt.Errorf("fused dispatch regressed: %.0f ns/req vs %.0f unfused (>10%% budget)",
+				res.FusedNsPerReq, res.UnfusedNsPerReq)
+		}
 		return nil
 	})
 	run("chain", func(pc perflab.Config) error {

@@ -8,6 +8,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/fleet"
 )
@@ -39,8 +41,25 @@ func main() {
 	flag.BoolVar(&cfg.DisableShed, "no-shed", cfg.DisableShed, "disable overload shedding (hosts can die)")
 	flag.Float64Var(&cfg.ShedRatio, "shed-ratio", cfg.ShedRatio, "assigned/capacity ratio that triggers shedding")
 	flag.Float64Var(&cfg.DeathBacklog, "death-backlog", cfg.DeathBacklog, "backlog/capacity ratio that kills an unprotected host")
+	flag.IntVar(&cfg.CompileWorkers, "compile-workers", cfg.CompileWorkers, "per-host JIT backend compile goroutines (0/1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file after the simulation")
 	flag.Parse()
 	cfg.CyclesPerMinute = *cycles
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	res, err := fleet.Simulate(cfg)
 	if err != nil {
@@ -48,4 +67,18 @@ func main() {
 		os.Exit(1)
 	}
 	fleet.Report(os.Stdout, res)
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet: memprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fleet: memprofile:", err)
+			os.Exit(1)
+		}
+	}
 }

@@ -7,7 +7,8 @@
 //
 //	hhvm [-mode interp|tracelet|profiling|region] [-requests N]
 //	     [-stats] [-disas] [-prof-dump file] [-prof-load file]
-//	     [-fault-rate P] [-fault-seed N] file.php
+//	     [-fault-rate P] [-fault-seed N] [-compile-workers N]
+//	     [-no-fuse] file.php
 //
 // -prof-load jumpstarts the engine from a profile snapshot before the
 // first request; -prof-dump persists the profile after the last one
@@ -38,6 +39,8 @@ func main() {
 	profLoad := flag.String("prof-load", "", "jumpstart from a profile snapshot before the first request")
 	faultRate := flag.Float64("fault-rate", 0, "arm the fault injector at this probability per draw (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
+	compileWorkers := flag.Int("compile-workers", 0, "fan the optimizing backend over this many goroutines (0/1 = serial)")
+	noFuse := flag.Bool("no-fuse", false, "disable dispatch fusion (superinstructions + per-run cycle settlement)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -78,6 +81,8 @@ func main() {
 	if *trigger != 0 {
 		cfg.ProfileTrigger = *trigger
 	}
+	cfg.CompileWorkers = *compileWorkers
+	cfg.FuseDispatch = !*noFuse
 	if *faultRate > 0 {
 		cfg.Faults = faultinject.New(faultinject.EnableAll(*faultSeed, *faultRate))
 	}
@@ -126,6 +131,10 @@ func main() {
 			st.GuardFails, st.SideExits, st.BindRequests)
 		fmt.Fprintf(os.Stderr, "heap:         %d increfs, %d decrefs, %d destructors, %d COW copies\n",
 			hs.IncRefs, hs.DecRefs, hs.Destructs, hs.CowCopies)
+		if *compileWorkers > 1 {
+			fmt.Fprintf(os.Stderr, "leases:       %d acquires, %d waits, %d steals; peak compile parallelism %d\n",
+				st.LeaseAcquires, st.LeaseWaits, st.LeaseSteals, st.PeakCompileParallelism)
+		}
 		if *faultRate > 0 {
 			fmt.Fprintf(os.Stderr, "self-healing: %d injections fired, %d faults contained, %d quarantined, %d demoted, %d recycle runs, degrade level %d\n",
 				cfg.Faults.TotalFired(), st.TransFaults, st.Quarantined, st.Demotions, st.RecycleRuns, st.DegradeLevel)

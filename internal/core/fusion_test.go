@@ -1,0 +1,65 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/jit"
+	"repro/internal/perflab"
+)
+
+// TestFusedDispatchBitIdentical is the exactness contract of dispatch
+// fusion (PR 8): superinstructions, per-run static-cycle settlement,
+// and handler-table dispatch change only host-side speed. Running the
+// whole endpoint suite with FuseDispatch on and off must produce
+// byte-identical guest outputs AND identical guest cycle counts —
+// per-endpoint and in the weighted mean — in both tracelet and region
+// modes.
+func TestFusedDispatchBitIdentical(t *testing.T) {
+	pc := perflab.Config{WarmupRequests: 30, MeasureRequests: 8}
+	for _, mode := range []jit.Mode{jit.ModeTracelet, jit.ModeRegion} {
+		base := jit.DefaultConfig()
+		base.Mode = mode
+		base.ProfileTrigger = 400
+
+		unfused := base
+		unfused.FuseDispatch = false
+		fused := base
+		fused.FuseDispatch = true
+
+		ru, err := perflab.Measure(unfused, pc)
+		if err != nil {
+			t.Fatalf("mode %v unfused: %v", mode, err)
+		}
+		rf, err := perflab.Measure(fused, pc)
+		if err != nil {
+			t.Fatalf("mode %v fused: %v", mode, err)
+		}
+		if rf.JITStats.FusedInstrs == 0 {
+			t.Errorf("mode %v: fusion pass eliminated no instructions", mode)
+		}
+		if len(ru.Endpoints) != len(rf.Endpoints) {
+			t.Fatalf("mode %v: endpoint counts differ", mode)
+		}
+		for i := range ru.Endpoints {
+			eu, ef := ru.Endpoints[i], rf.Endpoints[i]
+			if eu.Output != ef.Output {
+				t.Errorf("mode %v endpoint %s: outputs differ with fusion:\n unfused %q\n fused   %q",
+					mode, eu.Name, eu.Output, ef.Output)
+			}
+			if len(eu.Samples) != len(ef.Samples) {
+				t.Fatalf("mode %v endpoint %s: sample counts differ", mode, eu.Name)
+			}
+			for j := range eu.Samples {
+				if eu.Samples[j] != ef.Samples[j] {
+					t.Errorf("mode %v endpoint %s request %d: cycle counts differ: unfused=%v fused=%v",
+						mode, eu.Name, j, eu.Samples[j], ef.Samples[j])
+					break
+				}
+			}
+		}
+		if ru.WeightedMean != rf.WeightedMean {
+			t.Errorf("mode %v: weighted mean cycles differ: unfused=%v fused=%v",
+				mode, ru.WeightedMean, rf.WeightedMean)
+		}
+	}
+}

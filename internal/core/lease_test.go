@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// TestLeaseStressConcurrentMinting exercises the per-function
+// translation leases (PR 8) under -race: with CompileWorkers > 1 the
+// global compile mutex is gone, so four worker VMs race to mint
+// tracelets of different functions in parallel while the background
+// optimizer acquires writer leases for its batch — stealing them from
+// queued minting workers — and republishes the index mid-traffic.
+// Every request's output must still match the interpreter's.
+func TestLeaseStressConcurrentMinting(t *testing.T) {
+	src, eps := workload.Combined()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference outputs from a pure interpreter.
+	refEng, err := core.NewEngine(unit, jit.Config{Mode: jit.ModeInterp}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]string{}
+	for _, ep := range eps {
+		var sb strings.Builder
+		refEng.VM.SetOut(&sb)
+		val, err := refEng.Call(workload.EndpointFunc(ep.Name))
+		if err != nil {
+			t.Fatalf("reference %s: %v", ep.Name, err)
+		}
+		refEng.Heap().DecRef(val)
+		ref[ep.Name] = sb.String()
+	}
+
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 300 // fire the global trigger mid-run
+	cfg.BackgroundCompile = true
+	cfg.CompileWorkers = 4
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const rounds = 40
+	ws := make([]*vm.VM, workers)
+	ws[0] = eng.VM
+	for i := 1; i < workers; i++ {
+		ws[i] = eng.NewWorker(io.Discard)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(v *vm.VM) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, ep := range eps {
+					fn, ok := unit.FuncByName(workload.EndpointFunc(ep.Name))
+					if !ok {
+						errCh <- fmt.Errorf("endpoint %s: missing function", ep.Name)
+						return
+					}
+					var sb strings.Builder
+					v.SetOut(&sb)
+					val, err := v.CallFunc(fn, nil, nil)
+					if err != nil {
+						errCh <- fmt.Errorf("endpoint %s: %v", ep.Name, err)
+						return
+					}
+					v.Heap.DecRef(val)
+					if sb.String() != ref[ep.Name] {
+						errCh <- fmt.Errorf("endpoint %s: output diverged under lease contention:\n got %q\nwant %q",
+							ep.Name, sb.String(), ref[ep.Name])
+						return
+					}
+				}
+			}
+		}(ws[i])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Wait for the republish the trigger started.
+	deadline := time.Now().Add(10 * time.Second)
+	for !eng.VM.JIT.Optimized() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !eng.VM.JIT.Optimized() {
+		t.Fatal("optimized index never published")
+	}
+	st := eng.Stats()
+	if st.OptimizeRuns != 1 {
+		t.Errorf("global retranslation ran %d times, want exactly 1", st.OptimizeRuns)
+	}
+	if st.LeaseAcquires == 0 {
+		t.Error("no lease acquisitions recorded; lease table not in use")
+	}
+	t.Logf("lease acquires=%d waits=%d steals=%d peak-parallel=%d",
+		st.LeaseAcquires, st.LeaseWaits, st.LeaseSteals, st.PeakCompileParallelism)
+}
+
+// TestParallelOptimizePublishesIdenticalCode checks the determinism
+// contract of the parallel optimizer: fanning backend compiles over N
+// workers must publish exactly the same translations — same code
+// bytes, same addresses — as the serial path, because placement stays
+// sequential in function-sorted order.
+func TestParallelOptimizePublishesIdenticalCode(t *testing.T) {
+	run := func(compileWorkers int) (jit.Stats, uint64) {
+		src, eps := workload.Combined()
+		unit, err := core.Compile(src, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := jit.DefaultConfig()
+		cfg.ProfileTrigger = 300
+		cfg.CompileWorkers = compileWorkers
+		eng, err := core.NewEngine(unit, cfg, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			for _, ep := range eps {
+				val, err := eng.Call(workload.EndpointFunc(ep.Name))
+				if err != nil {
+					t.Fatalf("endpoint %s: %v", ep.Name, err)
+				}
+				eng.Heap().DecRef(val)
+			}
+		}
+		if !eng.VM.JIT.Optimized() {
+			t.Fatal("optimized index never published")
+		}
+		return eng.Stats(), eng.Cycles()
+	}
+
+	serial, serialCycles := run(1)
+	parallel, parallelCycles := run(4)
+	if serial.OptimizedTranslations != parallel.OptimizedTranslations {
+		t.Errorf("optimized translations differ: serial=%d parallel=%d",
+			serial.OptimizedTranslations, parallel.OptimizedTranslations)
+	}
+	if serial.BytesOptimized != parallel.BytesOptimized {
+		t.Errorf("optimized code bytes differ: serial=%d parallel=%d",
+			serial.BytesOptimized, parallel.BytesOptimized)
+	}
+	if serialCycles != parallelCycles {
+		t.Errorf("guest cycle totals differ: serial=%d parallel=%d",
+			serialCycles, parallelCycles)
+	}
+}

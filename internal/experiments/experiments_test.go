@@ -74,11 +74,14 @@ func TestScalingSpeedup(t *testing.T) {
 		t.Fatal(err)
 	}
 	experiments.ReportScaling(os.Stderr, rows)
-	if len(rows) != 2 {
-		t.Fatalf("want 2 rows, got %d", len(rows))
+	// Each worker count yields a baseline and a tuned row (PR 8).
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
 	}
-	if rows[1].Speedup < 2 {
-		t.Errorf("4-worker speedup %.2fx, want >= 2x over 1 worker", rows[1].Speedup)
+	for _, r := range rows[2:] {
+		if r.Speedup < 2 {
+			t.Errorf("4-worker speedup %.2fx (tuned=%v), want >= 2x over 1 worker", r.Speedup, r.Tuned)
+		}
 	}
 }
 

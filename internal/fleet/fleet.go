@@ -78,6 +78,11 @@ type Config struct {
 	DisableShed     bool
 	ShedRatio       float64
 	DeathBacklog    float64
+
+	// CompileWorkers > 1 fans each host's JIT backend compiles over
+	// that many goroutines under per-function translation leases
+	// (plumbed into JIT.CompileWorkers). 0 keeps whatever JIT says.
+	CompileWorkers int
 }
 
 // DefaultConfig is an 8-host fleet over the paper's 30-minute-style
@@ -307,6 +312,9 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 	if cfg.DeathBacklog == 0 {
 		cfg.DeathBacklog = 3
+	}
+	if cfg.CompileWorkers != 0 {
+		cfg.JIT.CompileWorkers = cfg.CompileWorkers
 	}
 	if cfg.OverloadFactor == 0 {
 		cfg.OverloadFactor = 2

@@ -88,6 +88,23 @@ type Config struct {
 	// triggering worker).
 	BackgroundCompile bool
 
+	// CompileWorkers > 1 replaces the global compile mutex with
+	// per-function translation leases (lease.go) and fans the global
+	// retranslation's backend compiles over that many goroutines.
+	// Placement into the code cache stays sequential in function-
+	// sorted order, so addresses, huge-page coverage, and guest
+	// cycles are identical to the serial path. <= 1 keeps the legacy
+	// single-compiler behavior.
+	CompileWorkers int
+
+	// FuseDispatch runs the post-regalloc fusion pass (vasm.Fuse) and
+	// prepares compiled code for the machine's fast dispatch path
+	// (machine.PrepareDispatch): superinstructions, per-run static-
+	// cycle settlement, handler-table dispatch. Guest outputs and
+	// cycle totals are bit-identical with it on or off; it only
+	// changes host-side speed.
+	FuseDispatch bool
+
 	// CodeCacheLimit bounds total JITed bytes (0 = default 64 MiB).
 	CodeCacheLimit uint64
 	// ProfileTrigger fires global retranslation after this many
@@ -142,6 +159,7 @@ func DefaultConfig() Config {
 		PGOLayout:            true,
 		FunctionSort:         true,
 		HugePages:            true,
+		FuseDispatch:         true,
 		CodeCacheLimit:       64 << 20,
 		ProfileTrigger:       1500,
 		MaxLiveChain:         12,
@@ -296,6 +314,20 @@ type Stats struct {
 	Quarantined uint64
 	// DegradeLevel is the current degradation-ladder level gauge.
 	DegradeLevel uint64
+
+	// Compile-parallelism counters (CompileWorkers > 1).
+	// LeaseAcquires counts per-function lease acquisitions,
+	// LeaseWaits those that blocked on a held lease, and LeaseSteals
+	// optimizer (writer) acquisitions that took priority over queued
+	// minting workers.
+	LeaseAcquires uint64
+	LeaseWaits    uint64
+	LeaseSteals   uint64
+	// PeakCompileParallelism is the high-water mark of concurrently
+	// running backend compiles.
+	PeakCompileParallelism uint64
+	// FusedInstrs counts instructions eliminated by dispatch fusion.
+	FusedInstrs uint64
 }
 
 // JIT owns the translation cache and compilation pipelines. One JIT
@@ -346,9 +378,16 @@ type JIT struct {
 	// (func, PC) at a time; losers wait and re-check the index.
 	inflight map[transKey]chan struct{}
 
-	// compileMu serializes backend compiles (one compiler thread,
-	// like HHVM's per-translation compile lease).
+	// compileMu serializes backend compiles when CompileWorkers <= 1
+	// (one compiler thread, like HHVM's original global write lease).
 	compileMu sync.Mutex
+	// leases replaces compileMu with per-function translation leases
+	// when CompileWorkers > 1.
+	leases *leaseTable
+	// compilesRunning / peakCompiles gauge concurrent backend
+	// compiles (PeakCompileParallelism).
+	compilesRunning atomic.Int64
+	peakCompiles    atomic.Uint64
 
 	entries    atomic.Uint64
 	optStarted atomic.Bool // global retranslation claimed
@@ -401,6 +440,9 @@ func New(cfg Config, env *interp.Env, meter *machine.Meter) *JIT {
 		inflight:     map[transKey]chan struct{}{},
 	}
 	j.Cache.Faults = cfg.Faults
+	if cfg.CompileWorkers > 1 {
+		j.leases = newLeaseTable()
+	}
 	empty := transIndex{}
 	j.trans.Store(&empty)
 	return j
@@ -410,7 +452,7 @@ func New(cfg Config, env *interp.Env, meter *machine.Meter) *JIT {
 func (j *JIT) Stats() Stats {
 	ld := func(p *uint64) uint64 { return atomic.LoadUint64(p) }
 	s := &j.stats
-	return Stats{
+	out := Stats{
 		LiveTranslations:      ld(&s.LiveTranslations),
 		ProfilingTranslations: ld(&s.ProfilingTranslations),
 		OptimizedTranslations: ld(&s.OptimizedTranslations),
@@ -452,7 +494,14 @@ func (j *JIT) Stats() Stats {
 		EvictedBytes:         ld(&s.EvictedBytes),
 		Quarantined:          j.quarantinedCount(),
 		DegradeLevel:         uint64(j.degrade.Load()),
+
+		PeakCompileParallelism: j.peakCompiles.Load(),
+		FusedInstrs:            ld(&s.FusedInstrs),
 	}
+	if j.leases != nil {
+		out.LeaseAcquires, out.LeaseWaits, out.LeaseSteals = j.leases.statsSnapshot()
+	}
+	return out
 }
 
 // EpochVar exposes the link-epoch counter for worker machines

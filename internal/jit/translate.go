@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/faultinject"
@@ -23,14 +24,50 @@ import (
 var Debug = os.Getenv("REPRO_JIT_DEBUG") != ""
 
 // compile runs a region through the optimizer and back end, charging
-// the compilation cycles to m. Compiles are serialized on compileMu —
-// one compiler thread, matching HHVM's translation lease — so the
-// pipeline never runs reentrantly across workers.
+// the compilation cycles to m. With CompileWorkers <= 1 compiles are
+// serialized on compileMu — one compiler thread, matching HHVM's
+// original global write lease; with CompileWorkers > 1 the compile
+// holds the translated function's lease instead (lease.go), so
+// compiles of different functions proceed in parallel.
 func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.PassConfig,
 	lay vasm.LayoutConfig, area mcode.Area, m *machine.Meter) (*mcode.Code, error) {
 
-	j.compileMu.Lock()
-	defer j.compileMu.Unlock()
+	if j.leases != nil {
+		fnID := desc.Entry().Func.ID
+		j.leases.acquire(fnID, false)
+		defer j.leases.release(fnID, false)
+	} else {
+		j.compileMu.Lock()
+		defer j.compileMu.Unlock()
+	}
+
+	code, err := j.compileBackend(desc, bcfg, passes, lay)
+	if err != nil {
+		return nil, err
+	}
+	if err := j.placeCode(code, area, m); err != nil {
+		return nil, err
+	}
+	return code, nil
+}
+
+// compileBackend runs the compiler pipeline — HHIR build and
+// optimization, lowering, layout, register allocation, optional
+// dispatch fusion, assembly — without touching the code cache. It
+// holds no locks of its own: callers serialize per function (lease)
+// or globally (compileMu), and the parallel optimizer runs several
+// backends at once.
+func (j *JIT) compileBackend(desc *region.Desc, bcfg hhir.BuildConfig,
+	passes hhir.PassConfig, lay vasm.LayoutConfig) (*mcode.Code, error) {
+
+	running := j.compilesRunning.Add(1)
+	defer j.compilesRunning.Add(-1)
+	for {
+		peak := j.peakCompiles.Load()
+		if uint64(running) <= peak || j.peakCompiles.CompareAndSwap(peak, uint64(running)) {
+			break
+		}
+	}
 
 	if j.Cfg.Faults.Should(faultinject.CompileError) {
 		return nil, faultinject.Errf(faultinject.CompileError)
@@ -46,6 +83,11 @@ func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.Pass
 	}
 	vasm.Layout(vu, lay)
 	vasm.Allocate(vu)
+	if j.Cfg.FuseDispatch {
+		if n := vasm.Fuse(vu); n > 0 {
+			atomic.AddUint64(&j.stats.FusedInstrs, uint64(n))
+		}
+	}
 	code, err := mcode.Assemble(vu)
 	if err != nil {
 		return nil, err
@@ -54,6 +96,14 @@ func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.Pass
 		fmt.Fprintf(os.Stderr, "=== region for %s ===\n%s\n--- HHIR ---\n%s--- vasm ---\n%s\n",
 			desc.Entry().Func.FullName(), desc, hu, vu)
 	}
+	return code, nil
+}
+
+// placeCode allocates cache space for assembled code, rebases it, and
+// charges the compile fee to m. The cache allocator is internally
+// locked; the parallel optimizer calls this sequentially in function-
+// sorted order so placement stays deterministic.
+func (j *JIT) placeCode(code *mcode.Code, area mcode.Area, m *machine.Meter) error {
 	base, err := j.Cache.Alloc(area, code.Size)
 	if err != nil && errors.Is(err, mcode.ErrCacheFull) {
 		// Genuine exhaustion (injected alloc failures fall through as
@@ -69,13 +119,16 @@ func (j *JIT) compile(desc *region.Desc, bcfg hhir.BuildConfig, passes hhir.Pass
 		}
 	}
 	if err != nil {
-		return nil, err
+		return err
 	}
 	code.Place(base)
+	if j.Cfg.FuseDispatch {
+		machine.PrepareDispatch(code)
+	}
 	// Compilation itself consumes CPU: the warmup dip in Figure 9 is
 	// partly JIT time. Charged per emitted byte.
 	m.Charge(code.Size * jitCyclesPerByte)
-	return code, nil
+	return nil
 }
 
 // jitCyclesPerByte approximates compilation cost per emitted byte.
@@ -291,36 +344,113 @@ func (j *JIT) OptimizeAll() {
 	}
 	var newTrans []*Translation
 	published := map[int]bool{} // fnID -> all regions compiled
-	for _, fr := range all {
-		ok := len(fr.regions) > 0
-		for _, desc := range fr.regions {
-			code, err := j.compile(desc, bcfg, j.passConfig(false),
-				j.layoutConfig(), mcode.AreaHot, meter)
-			if err != nil && !errors.Is(err, mcode.ErrCacheFull) {
-				// Transient failure (an injected compile error, a flaky
-				// allocation): the global publish runs once ever, so a
-				// single retry is cheap insurance against one bad draw
-				// permanently costing this region its optimized code.
-				code, err = j.compile(desc, bcfg, j.passConfig(false),
-					j.layoutConfig(), mcode.AreaHot, meter)
-			}
-			if err != nil {
-				debugCompileErr("optimize", desc.Entry().Func.FullName(), err)
-				ok = false // cache full: this function keeps its profiling code
-				continue
-			}
-			code.Chainable = j.Cfg.EnableChaining
-			entry := desc.Entry()
-			tr := &Translation{
-				FuncID: fr.fnID, PC: entry.Start, Kind: ModeRegion,
-				Preconds: entry.Preconds, EntryDepth: entry.EntryStackDepth,
-				Code: code, ProfID: -1, Desc: desc,
-			}
-			newTrans = append(newTrans, tr)
-			atomic.AddUint64(&j.stats.OptimizedTranslations, 1)
-			atomic.AddUint64(&j.stats.BytesOptimized, code.Size)
+	if j.leases != nil && len(all) > 1 {
+		// Parallel publish: fan the backend compiles over
+		// CompileWorkers goroutines, each claiming whole functions and
+		// holding the function's writer lease while its regions
+		// compile (minting workers touching the same function queue
+		// behind the optimizer). Placement into the hot area then runs
+		// sequentially in the function-sorted order below, so
+		// addresses, huge-page coverage, and fetch behavior are
+		// identical to the serial path.
+		type unit struct {
+			code *mcode.Code
+			err  error
 		}
-		published[fr.fnID] = ok
+		results := make([][]unit, len(all))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workers := j.Cfg.CompileWorkers
+		if workers > len(all) {
+			workers = len(all)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(all) {
+						return
+					}
+					fr := all[i]
+					j.leases.acquire(fr.fnID, true)
+					res := make([]unit, len(fr.regions))
+					for ri, desc := range fr.regions {
+						code, err := j.compileBackend(desc, bcfg, j.passConfig(false), j.layoutConfig())
+						if err != nil {
+							// Same single-retry insurance as the serial
+							// path: the global publish runs once ever.
+							code, err = j.compileBackend(desc, bcfg, j.passConfig(false), j.layoutConfig())
+						}
+						res[ri] = unit{code, err}
+					}
+					results[i] = res
+					j.leases.release(fr.fnID, true)
+				}
+			}()
+		}
+		wg.Wait()
+		for i, fr := range all {
+			ok := len(fr.regions) > 0
+			for ri, desc := range fr.regions {
+				code, err := results[i][ri].code, results[i][ri].err
+				if err == nil {
+					err = j.placeCode(code, mcode.AreaHot, meter)
+					if err != nil && !errors.Is(err, mcode.ErrCacheFull) {
+						err = j.placeCode(code, mcode.AreaHot, meter)
+					}
+				}
+				if err != nil {
+					debugCompileErr("optimize", desc.Entry().Func.FullName(), err)
+					ok = false // cache full: this function keeps its profiling code
+					continue
+				}
+				code.Chainable = j.Cfg.EnableChaining
+				entry := desc.Entry()
+				tr := &Translation{
+					FuncID: fr.fnID, PC: entry.Start, Kind: ModeRegion,
+					Preconds: entry.Preconds, EntryDepth: entry.EntryStackDepth,
+					Code: code, ProfID: -1, Desc: desc,
+				}
+				newTrans = append(newTrans, tr)
+				atomic.AddUint64(&j.stats.OptimizedTranslations, 1)
+				atomic.AddUint64(&j.stats.BytesOptimized, code.Size)
+			}
+			published[fr.fnID] = ok
+		}
+	} else {
+		for _, fr := range all {
+			ok := len(fr.regions) > 0
+			for _, desc := range fr.regions {
+				code, err := j.compile(desc, bcfg, j.passConfig(false),
+					j.layoutConfig(), mcode.AreaHot, meter)
+				if err != nil && !errors.Is(err, mcode.ErrCacheFull) {
+					// Transient failure (an injected compile error, a flaky
+					// allocation): the global publish runs once ever, so a
+					// single retry is cheap insurance against one bad draw
+					// permanently costing this region its optimized code.
+					code, err = j.compile(desc, bcfg, j.passConfig(false),
+						j.layoutConfig(), mcode.AreaHot, meter)
+				}
+				if err != nil {
+					debugCompileErr("optimize", desc.Entry().Func.FullName(), err)
+					ok = false // cache full: this function keeps its profiling code
+					continue
+				}
+				code.Chainable = j.Cfg.EnableChaining
+				entry := desc.Entry()
+				tr := &Translation{
+					FuncID: fr.fnID, PC: entry.Start, Kind: ModeRegion,
+					Preconds: entry.Preconds, EntryDepth: entry.EntryStackDepth,
+					Code: code, ProfID: -1, Desc: desc,
+				}
+				newTrans = append(newTrans, tr)
+				atomic.AddUint64(&j.stats.OptimizedTranslations, 1)
+				atomic.AddUint64(&j.stats.BytesOptimized, code.Size)
+			}
+			published[fr.fnID] = ok
+		}
 	}
 
 	// Publish: one atomic swap installs every optimized translation

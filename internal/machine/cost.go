@@ -88,13 +88,40 @@ func opCost(op vasm.Op) uint64 {
 	}
 }
 
+// instrCost is opCost extended to superinstructions, whose static
+// cost is by definition the sum of their components' — fusion saves
+// host dispatch work, never guest cycles.
+func instrCost(in *vasm.Instr) uint64 {
+	switch in.Op {
+	case vasm.LdLocGK:
+		return opCost(vasm.LdLoc) + opCost(vasm.GuardKind)
+	case vasm.LdImmAddI:
+		return opCost(vasm.LdImm) + opCost(vasm.AddI)
+	case vasm.LdImmCmpI:
+		return opCost(vasm.LdImm) + opCost(vasm.CmpI)
+	case vasm.CmpIJcc:
+		return opCost(vasm.CmpI) + opCost(vasm.Jcc)
+	case vasm.CmpDJcc:
+		return opCost(vasm.CmpD) + opCost(vasm.Jcc)
+	case vasm.IncRefN:
+		return uint64(len(in.Args)) * opCost(vasm.IncRef)
+	case vasm.DecRefN:
+		return uint64(len(in.Args)) * opCost(vasm.DecRef)
+	default:
+		return opCost(in.Op)
+	}
+}
+
 // Extra penalty charged when a guard actually fails (pipeline flush +
 // exit stub).
 const guardFailPenalty = 14
 
 // Helper body costs, matching the work the interpreter charges for
-// the same operations (minus its dispatch overhead).
-var helperCost = map[vasm.HelperID]uint64{
+// the same operations (minus its dispatch overhead). A dense array —
+// Helper ops run hundreds of times per request, so the lookup sits on
+// the dispatch hot path where a map probe would cost more than the
+// helper accounting itself.
+var helperCost = [vasm.HelperCount]uint64{
 	vasm.HConcat: 24, vasm.HBinop: 14, vasm.HEqAny: 8, vasm.HSameAny: 8,
 	vasm.HDivNum: 10, vasm.HModInt: 8, vasm.HToStr: 18, vasm.HCmpStr: 8,
 	vasm.HNewArr: 18, vasm.HNewPacked: 18, vasm.HAddElem: 12,

@@ -266,6 +266,19 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 	// Block 0 is the translation entry; layout may have placed hotter
 	// loop blocks ahead of it.
 	ip := code.BlockIndex[0]
+	// Fast dispatch state (see dispatch.go): fast code charges static
+	// cycles per straight-line run [runStart, ip] via CostPrefix and
+	// probes the fetch model only at line heads and transfers (xfer).
+	// runStart -1 means nothing has been dispatched yet.
+	fast := code.FastDispatch
+	runStart := -1
+	xfer := true
+	// Hot loop state hoisted out of code so the per-instruction path
+	// does not reload slice headers through the Code pointer (calls in
+	// the loop body would otherwise force reloads). Refreshed at every
+	// chained transfer into a different translation.
+	instrs := code.Instrs
+	flags := code.DispatchFlags
 	defer func() {
 		// Fault containment: a panic inside a translation becomes a
 		// typed TransFault outcome instead of killing the process. The
@@ -273,6 +286,16 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 		// faulted; the VM quarantines the address and re-executes the
 		// stretch in the interpreter.
 		if r := recover(); r != nil {
+			if fast && runStart >= 0 {
+				// Settle the pending run through the panicking
+				// instruction (the classic path charges each
+				// instruction before executing it).
+				through := ip
+				if through > len(code.Instrs)-1 {
+					through = len(code.Instrs) - 1
+				}
+				settleRun(m.Meter, code, runStart, through)
+			}
 			reason := fmt.Sprintf("panic: %v", r)
 			if ip >= 0 && ip < len(code.Instrs) {
 				reason = fmt.Sprintf("panic at ip=%d op=%s: %v", ip, code.Instrs[ip].Op, r)
@@ -283,12 +306,38 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 	if m.FI.Should(faultinject.TransPanic) {
 		panic(faultinject.Errf(faultinject.TransPanic))
 	}
+	runStart = ip
 	for {
-		if ip >= len(code.Instrs) {
+		if ip >= len(instrs) {
+			if fast {
+				settleRun(m.Meter, code, runStart, ip-1)
+			}
 			return m.faultOutcome(act, guardFails, "fell off code end")
 		}
-		in := &code.Instrs[ip]
-		m.Meter.ChargeOp(in.Op, opCost(in.Op)+m.Fetch.Fetch(code.AddrOf(ip)))
+		in := &instrs[ip]
+		if fast {
+			if fl := flags[ip]; fl != 0 || xfer {
+				// Line head or transfer landing: probe the fetch model
+				// (free when the line is unchanged — over-probing at a
+				// same-line transfer is invisible).
+				m.Meter.Cycles += m.Fetch.Fetch(code.AddrOf(ip))
+				xfer = false
+				if fl&mcode.FlagFetchTails != 0 {
+					for _, ta := range code.FetchTails[ip] {
+						m.Meter.Cycles += m.Fetch.Fetch(ta)
+					}
+				}
+			}
+			if useHandlerTable {
+				if h := hotHandlers[in.Op]; h != nil {
+					h(m, code, act, in)
+					ip++
+					continue
+				}
+			}
+		} else {
+			m.Meter.ChargeOp(in.Op, opCost(in.Op)+m.Fetch.Fetch(code.AddrOf(ip)))
+		}
 
 		switch in.Op {
 		case vasm.Nop:
@@ -305,10 +354,17 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 		case vasm.StLoc:
 			fr.Locals[in.I64] = act.get(in.A)
 		case vasm.LdStk:
-			if int(in.I64) < len(fr.Stack) {
-				act.set(in.D, fr.Stack[in.I64])
+			if i := int(in.I64); i >= 0 && i < len(fr.Stack) {
+				act.set(in.D, fr.Stack[i])
 			} else {
-				act.set(in.D, runtime.Null())
+				// A layout bug, not a guest condition: fault the
+				// translation so the self-healing path quarantines it
+				// instead of silently computing on a phantom Null.
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+				}
+				return m.faultOutcome(act, guardFails, fmt.Sprintf(
+					"LdStk slot %d out of range (stack depth %d)", in.I64, len(fr.Stack)))
 			}
 		case vasm.Spill:
 			act.spills[in.I64] = act.get(in.A)
@@ -319,14 +375,19 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			v := act.get(in.A)
 			if !v.Type().SubtypeOf(in.TypeParam) {
 				guardFails++
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+				}
 				m.Meter.Charge(guardFailPenalty)
 				out, nip, done := m.jumpOrExit(code, act, in.Target1, guardFails)
 				if !done {
-					ip = nip
+					ip, runStart, xfer = nip, nip, true
 					continue
 				}
 				if nc, cip, ok := m.chainFrom(code, nip, act, &out, &chained); ok {
 					code, ip = nc, cip
+					fast, runStart, xfer = code.FastDispatch, cip, true
+					instrs, flags = code.Instrs, code.DispatchFlags
 					continue
 				}
 				return out
@@ -335,14 +396,46 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			v := act.get(in.A)
 			if v.Kind != types.KObj || int64(v.O.Class.ClassID) != in.I64 {
 				guardFails++
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+				}
 				m.Meter.Charge(guardFailPenalty)
 				out, nip, done := m.jumpOrExit(code, act, in.Target1, guardFails)
 				if !done {
-					ip = nip
+					ip, runStart, xfer = nip, nip, true
 					continue
 				}
 				if nc, cip, ok := m.chainFrom(code, nip, act, &out, &chained); ok {
 					code, ip = nc, cip
+					fast, runStart, xfer = code.FastDispatch, cip, true
+					instrs, flags = code.Instrs, code.DispatchFlags
+					continue
+				}
+				return out
+			}
+		case vasm.LdLocGK:
+			// Fused LdLoc + GuardKind: load the local, then guard the
+			// loaded value exactly as the unfused pair would.
+			v := fr.Locals[in.I64]
+			if v.Kind == types.KUninit {
+				v = runtime.Null()
+			}
+			act.set(in.D, v)
+			if !v.Type().SubtypeOf(in.TypeParam) {
+				guardFails++
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+				}
+				m.Meter.Charge(guardFailPenalty)
+				out, nip, done := m.jumpOrExit(code, act, in.Target1, guardFails)
+				if !done {
+					ip, runStart, xfer = nip, nip, true
+					continue
+				}
+				if nc, cip, ok := m.chainFrom(code, nip, act, &out, &chained); ok {
+					code, ip = nc, cip
+					fast, runStart, xfer = code.FastDispatch, cip, true
+					instrs, flags = code.Instrs, code.DispatchFlags
 					continue
 				}
 				return out
@@ -365,6 +458,10 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 		case vasm.DivD:
 			b := act.get(in.B).D
 			if b == 0 {
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+					runStart = ip + 1
+				}
 				out := m.throwTo(code, act, in.Target1,
 					runtime.NewError("division by zero"), guardFails)
 				if out != nil {
@@ -391,6 +488,24 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 		case vasm.DecRef:
 			h.DecRef(act.get(in.A))
 
+		// Non-branching superinstructions normally dispatch through the
+		// handler table; these cases keep the classic path able to
+		// execute fused code (e.g. metadata-free replay paths).
+		case vasm.LdImmAddI:
+			m.setImm(act, vasm.Reg(in.Target2), code.Imms[in.I64>>16])
+			act.set(in.D, runtime.Int(act.get(in.A).I+act.get(in.B).I))
+		case vasm.LdImmCmpI:
+			m.setImm(act, vasm.Reg(in.Target2), code.Imms[in.I64>>16])
+			act.set(in.D, runtime.Bool(cmpI(in.I64&0xff, act.get(in.A).I, act.get(in.B).I)))
+		case vasm.IncRefN:
+			for _, r := range in.Args {
+				h.IncRef(act.get(r))
+			}
+		case vasm.DecRefN:
+			for _, r := range in.Args {
+				h.DecRef(act.get(r))
+			}
+
 		case vasm.ArrCount:
 			act.set(in.D, runtime.Int(int64(act.get(in.A).A.Len())))
 		case vasm.ArrGetPkI:
@@ -409,6 +524,9 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			act.get(in.A).O.SetPropSlot(h, int(in.I64), act.get(in.B))
 		case vasm.LdThis:
 			if fr.This == nil {
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+				}
 				out := m.throwTo(code, act, -1,
 					runtime.NewError("using $this outside object context"), guardFails)
 				return *out
@@ -420,6 +538,10 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			m.Meter.Charge(helperCost[hid])
 			res, err := m.runHelper(act, hid, extra, in)
 			if err != nil {
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+					runStart = ip + 1
+				}
 				out := m.throwTo(code, act, in.Target1, err, guardFails)
 				if out != nil {
 					return *out
@@ -433,6 +555,10 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 		case vasm.CallFunc, vasm.CallBuiltin, vasm.CallMethodD, vasm.CallMethodC:
 			res, err := m.runCall(code, ip, act, in)
 			if err != nil {
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+					runStart = ip + 1
+				}
 				out := m.throwTo(code, act, in.Target1, err, guardFails)
 				if out != nil {
 					return *out
@@ -459,30 +585,113 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			}
 
 		case vasm.Jmp:
-			ip = code.BlockIndex[in.Target1]
+			nip := code.BlockIndex[in.Target1]
+			if fast {
+				// Fallthrough coalescing: a branch to the next stream
+				// instruction continues the straight-line run — no
+				// settlement, no fetch re-probe (DispatchFlags already
+				// describe stream-successive lines, and the jump's own
+				// cost is inside the prefix sums).
+				if nip == ip+1 {
+					ip = nip
+					continue
+				}
+				settleRun(m.Meter, code, runStart, ip)
+			}
+			ip = nip
+			runStart, xfer = ip, true
 			continue
 		case vasm.Jcc:
 			cond := act.get(in.A).Bool()
 			if in.I64&0x100 != 0 { // inverted by jump optimization
 				cond = !cond
 			}
+			var nip int
 			if cond {
-				ip = code.BlockIndex[in.Target1]
-				continue
+				nip = code.BlockIndex[in.Target1]
+			} else {
+				nip = code.BlockIndex[in.Target2]
 			}
-			ip = code.BlockIndex[in.Target2]
+			if fast {
+				if nip == ip+1 {
+					ip = nip
+					continue
+				}
+				settleRun(m.Meter, code, runStart, ip)
+			}
+			ip = nip
+			runStart, xfer = ip, true
+			continue
+		case vasm.CmpIJcc:
+			// Fused CmpI + Jcc: write the compare result, then branch
+			// on it (honoring the jump-optimization inversion bit).
+			cond := cmpI(in.I64&0xff, act.get(in.A).I, act.get(in.B).I)
+			act.set(in.D, runtime.Bool(cond))
+			if in.I64&0x100 != 0 {
+				cond = !cond
+			}
+			var nip int
+			if cond {
+				nip = code.BlockIndex[in.Target1]
+			} else {
+				nip = code.BlockIndex[in.Target2]
+			}
+			if fast {
+				if nip == ip+1 {
+					ip = nip
+					continue
+				}
+				settleRun(m.Meter, code, runStart, ip)
+			}
+			ip = nip
+			runStart, xfer = ip, true
+			continue
+		case vasm.CmpDJcc:
+			cond := cmpD(in.I64&0xff, act.get(in.A).D, act.get(in.B).D)
+			act.set(in.D, runtime.Bool(cond))
+			if in.I64&0x100 != 0 {
+				cond = !cond
+			}
+			var nip int
+			if cond {
+				nip = code.BlockIndex[in.Target1]
+			} else {
+				nip = code.BlockIndex[in.Target2]
+			}
+			if fast {
+				if nip == ip+1 {
+					ip = nip
+					continue
+				}
+				settleRun(m.Meter, code, runStart, ip)
+			}
+			ip = nip
+			runStart, xfer = ip, true
 			continue
 		case vasm.JmpTable:
 			tbl := code.Tables[in.I64]
 			idx := act.get(in.A).ToInt() - tbl.Base
+			var nip int
 			if idx >= 0 && idx < int64(len(tbl.Targets)) {
-				ip = code.BlockIndex[tbl.Targets[idx]]
+				nip = code.BlockIndex[tbl.Targets[idx]]
 			} else {
-				ip = code.BlockIndex[tbl.Default]
+				nip = code.BlockIndex[tbl.Default]
 			}
+			if fast {
+				if nip == ip+1 {
+					ip = nip
+					continue
+				}
+				settleRun(m.Meter, code, runStart, ip)
+			}
+			ip = nip
+			runStart, xfer = ip, true
 			continue
 
 		case vasm.Ret:
+			if fast {
+				settleRun(m.Meter, code, runStart, ip)
+			}
 			v := act.get(in.A)
 			m.Meter.Charge(uint64(2 * len(fr.Locals))) // frame teardown
 			fr.Stack = fr.Stack[:0]
@@ -491,13 +700,21 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 				EntryPC: act.entryPC}
 
 		case vasm.Exit:
+			if fast {
+				settleRun(m.Meter, code, runStart, ip)
+			}
 			out := m.takeExit(act, in.Ex, SideExit, nil, guardFails)
 			if nc, nip, ok := m.chainFrom(code, ip, act, &out, &chained); ok {
 				code, ip = nc, nip
+				fast, runStart, xfer = code.FastDispatch, nip, true
+				instrs, flags = code.Instrs, code.DispatchFlags
 				continue
 			}
 			return out
 		case vasm.BindJmp:
+			if fast {
+				settleRun(m.Meter, code, runStart, ip)
+			}
 			out := m.takeExit(act, in.Ex, BindRequest, nil, guardFails)
 			out.BCOff = int(in.I64)
 			if out.Inline == nil {
@@ -505,14 +722,28 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			}
 			if nc, nip, ok := m.chainFrom(code, ip, act, &out, &chained); ok {
 				code, ip = nc, nip
+				fast, runStart, xfer = code.FastDispatch, nip, true
+				instrs, flags = code.Instrs, code.DispatchFlags
 				continue
 			}
 			return out
 
 		default:
+			if fast {
+				settleRun(m.Meter, code, runStart, ip)
+			}
 			return m.faultOutcome(act, guardFails, fmt.Sprintf("bad opcode %s", in.Op))
 		}
 		ip++
+	}
+}
+
+// settleRun charges the static cost of the straight-line stretch
+// [runStart, through] in one add (fast dispatch). No-op when the
+// stretch is empty (through < runStart).
+func settleRun(meter *Meter, code *mcode.Code, runStart, through int) {
+	if through >= runStart {
+		meter.Cycles += code.CostPrefix[through+1] - code.CostPrefix[runStart]
 	}
 }
 

@@ -41,6 +41,30 @@ type Code struct {
 	Base uint64
 	Size uint64
 
+	// FastDispatch marks translations prepared for the machine's fused
+	// fast-dispatch path: CostPrefix/DispatchFlags/FetchTails are
+	// populated (by machine.PrepareDispatch, after Place) and the
+	// machine charges static cycles per straight-line run instead of
+	// per instruction. Unprepared code always takes the classic
+	// per-instruction path.
+	FastDispatch bool
+	// CostPrefix[i] is the summed static cost of Instrs[:i] (length
+	// len(Instrs)+1): the cost of the stream stretch [a, b] is
+	// CostPrefix[b+1]-CostPrefix[a].
+	CostPrefix []uint64
+	// DispatchFlags[i] packs the per-instruction fetch metadata into
+	// one byte so the fast path pays a single load per instruction:
+	// FlagFetchHead means Instrs[i] starts on a different icache line
+	// than the last component of its stream predecessor (a
+	// straight-line fall-into needs a fetch probe; control transfers
+	// always probe), FlagFetchTails that FetchTails[i] is non-empty.
+	DispatchFlags []uint8
+	// FetchTails[i] lists the addresses of second-and-later components
+	// of a fused Instrs[i] that begin a new icache line relative to
+	// the component before them (nil for nearly every instruction;
+	// consulted only when DispatchFlags[i]&FlagFetchTails is set).
+	FetchTails [][]uint64
+
 	// Chainable marks translations that participate in direct
 	// chaining: their smash sites may be bound and they may be chained
 	// into. Profiling translations are never chainable (every entry
@@ -55,6 +79,12 @@ type Code struct {
 	// overwritten wholesale by smashing/sweeping, never mutated.
 	links []atomic.Pointer[Link]
 }
+
+// DispatchFlags bits (see Code.DispatchFlags).
+const (
+	FlagFetchHead  uint8 = 1 << 0
+	FlagFetchTails uint8 = 1 << 1
+)
 
 // Link is one smashed jump or call site's published target: a direct
 // transfer into a successor translation that bypasses the dispatcher.
@@ -146,8 +176,40 @@ func instrSize(in *vasm.Instr) uint64 {
 		return 8
 	case vasm.ArrGetPkI:
 		return 14
+	case vasm.LdLocGK, vasm.LdImmAddI, vasm.LdImmCmpI, vasm.CmpIJcc, vasm.CmpDJcc,
+		vasm.IncRefN, vasm.DecRefN:
+		// Superinstructions keep their components' encodings
+		// back-to-back, so addresses are unchanged by fusion.
+		var sz uint64
+		for _, s := range ComponentSizes(in) {
+			sz += s
+		}
+		return sz
 	default:
 		return 5 // ALU ops
+	}
+}
+
+// ComponentSizes returns the encoded byte size of each component of
+// in: one element for ordinary instructions, one per fused component
+// for superinstructions. The fetch model consumes these so a fused
+// stream touches exactly the icache lines the unfused stream did.
+func ComponentSizes(in *vasm.Instr) []uint64 {
+	switch in.Op {
+	case vasm.LdLocGK:
+		return []uint64{8, 10} // LdLoc + GuardKind
+	case vasm.LdImmAddI, vasm.LdImmCmpI:
+		return []uint64{10, 5} // LdImm + ALU
+	case vasm.CmpIJcc, vasm.CmpDJcc:
+		return []uint64{5, 6} // Cmp + Jcc
+	case vasm.IncRefN, vasm.DecRefN:
+		sizes := make([]uint64, len(in.Args))
+		for i := range sizes {
+			sizes[i] = 12 // IncRef/DecRef
+		}
+		return sizes
+	default:
+		return []uint64{instrSize(in)}
 	}
 }
 
@@ -190,9 +252,16 @@ func Assemble(u *vasm.Unit) (*Code, error) {
 		}
 	}
 	for i := range c.Instrs {
-		if c.Instrs[i].Op == vasm.LdImm && int(c.Instrs[i].I64) >= len(c.Imms) {
-			return nil, fmt.Errorf("mcode: LdImm #%d out of range (%d imms)",
-				c.Instrs[i].I64, len(c.Imms))
+		immIdx := int64(-1)
+		switch c.Instrs[i].Op {
+		case vasm.LdImm:
+			immIdx = c.Instrs[i].I64
+		case vasm.LdImmAddI, vasm.LdImmCmpI:
+			immIdx = c.Instrs[i].I64 >> 16
+		}
+		if immIdx >= 0 && int(immIdx) >= len(c.Imms) {
+			return nil, fmt.Errorf("mcode: %s imm #%d out of range (%d imms)",
+				c.Instrs[i].Op, immIdx, len(c.Imms))
 		}
 	}
 	// Smash-site identity: any smashable instruction (bind jumps and

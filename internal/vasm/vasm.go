@@ -98,8 +98,27 @@ const (
 	Exit     // side exit / service request; Ex describes resumption
 	BindJmp  // region exit to bytecode pc I64; Ex materializes state
 
+	// Superinstructions minted by the post-regalloc fusion pass
+	// (Fuse). Each performs the effects of its components in order —
+	// including every component's destination write — so fused code
+	// is bit-identical to unfused code. Encoded size and static cost
+	// are the sums of the components', so code-cache addresses and
+	// the guest cycle ledger are unchanged. None are smashable, and
+	// only the *Jcc forms and LdLocGK transfer control.
+	LdLocGK   // LdLoc(D <- local I64) + GuardKind(D within TypeParam, fail ->Target1)
+	LdImmAddI // LdImm(reg Target2 <- Imms[I64>>16]) + AddI(D <- A+B)
+	LdImmCmpI // LdImm(reg Target2 <- Imms[I64>>16]) + CmpI(D <- A <cond I64&0xff> B)
+	CmpIJcc   // CmpI(D <- A <cond I64&0xff> B) + Jcc(D: Target1/Target2; I64&0x100 = inverted)
+	CmpDJcc   // CmpD form of CmpIJcc
+	IncRefN   // IncRef over each reg in Args (run of >= 2)
+	DecRefN   // DecRef over each reg in Args (run of >= 2)
+
 	opCount
 )
+
+// OpCount is the number of vasm opcodes, exported for dispatch and
+// attribution tables indexed by Op.
+const OpCount = int(opCount)
 
 var opNames = [...]string{
 	Nop: "nop", LdImm: "ldimm", Copy: "copy", LdLoc: "ldloc", StLoc: "stloc",
@@ -116,6 +135,8 @@ var opNames = [...]string{
 	CallMethodC: "callmethodc", CallBuiltin: "callbuiltin",
 	CountInc: "countinc", ProfCallSite: "profcallsite",
 	Jmp: "jmp", Jcc: "jcc", JmpTable: "jmptable", Ret: "ret", Exit: "exit", BindJmp: "bindjmp",
+	LdLocGK: "ldloc+guardkind", LdImmAddI: "ldimm+addi", LdImmCmpI: "ldimm+cmpi",
+	CmpIJcc: "cmpi+jcc", CmpDJcc: "cmpd+jcc", IncRefN: "incref*n", DecRefN: "decref*n",
 }
 
 func (o Op) String() string {
@@ -191,11 +212,11 @@ func (in *Instr) String() string {
 	if in.Str != "" {
 		fmt.Fprintf(&sb, " %q", in.Str)
 	}
-	if in.Op == Jmp || in.Op == Jcc || in.Op == GuardKind || in.Op == GuardCls {
+	switch in.Op {
+	case Jmp, GuardKind, GuardCls, LdLocGK:
 		fmt.Fprintf(&sb, " ->B%d", in.Target1)
-	}
-	if in.Op == Jcc {
-		fmt.Fprintf(&sb, ",B%d", in.Target2)
+	case Jcc, CmpIJcc, CmpDJcc:
+		fmt.Fprintf(&sb, " ->B%d,B%d", in.Target1, in.Target2)
 	}
 	return sb.String()
 }
