@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|host|chain|faults|fleet|all
-//	      [-quick] [-workers N] [-json path] [-cpuprofile path] [-memprofile path]
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|host|chain|shapes|faults|fleet|all
+//	      [-quick] [-no-shapes] [-workers N] [-json path] [-cpuprofile path] [-memprofile path]
 //
 // -exp also accepts a comma-separated list (e.g. -exp scale,host).
 // With -json, the rows of the machine-readable experiments (fig8,
-// scale, host, chain, faults, and fleet) are also written to the
+// scale, host, chain, shapes, faults, and fleet) are also written to the
 // given path as a JSON document, so CI can archive guest-cycles/req
 // plus wall-clock host timings, smashed-vs-dispatched bind counts,
 // fault-containment counters, and the fleet scenarios'
@@ -39,13 +39,15 @@ type jsonReport struct {
 	Scale  []experiments.ScalingRow          `json:"scale,omitempty"`
 	Host   *experiments.HostThroughputResult `json:"host,omitempty"`
 	Chain  []experiments.ChainRow            `json:"chain,omitempty"`
+	Shapes *experiments.ShapesResult         `json:"shapes,omitempty"`
 	Faults *experiments.FaultsResult         `json:"faults,omitempty"`
 	Fleet  *experiments.FleetResult          `json:"fleet,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (or comma-separated list): fig8, fig9, fig10, fig11, jumpstart, scale, host, chain, faults, fleet, all")
+	exp := flag.String("exp", "all", "experiment (or comma-separated list): fig8, fig9, fig10, fig11, jumpstart, scale, host, chain, shapes, faults, fleet, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
+	noShapes := flag.Bool("no-shapes", false, "disable typed object shapes in every experiment config")
 	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
 	jsonPath := flag.String("json", "", "also write machine-readable results (fig8, scale, host, chain, faults, fleet) to this path")
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the faults experiment")
@@ -58,6 +60,7 @@ func main() {
 	if *quick {
 		pc = experiments.Quick
 	}
+	experiments.NoShapes = *noShapes
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -179,6 +182,15 @@ func main() {
 		experiments.ReportChain(os.Stdout, rows)
 		report.Chain = rows
 		return nil
+	})
+	run("shapes", func(pc perflab.Config) error {
+		res, err := experiments.Shapes(pc)
+		if err != nil {
+			return err
+		}
+		experiments.ReportShapes(os.Stdout, res)
+		report.Shapes = res
+		return res.GateErr()
 	})
 	run("faults", func(pc perflab.Config) error {
 		res, err := experiments.Faults(pc, *faultSeed, *faultRate)

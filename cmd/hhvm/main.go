@@ -8,7 +8,7 @@
 //	hhvm [-mode interp|tracelet|profiling|region] [-requests N]
 //	     [-stats] [-disas] [-prof-dump file] [-prof-load file]
 //	     [-fault-rate P] [-fault-seed N] [-compile-workers N]
-//	     [-no-fuse] file.php
+//	     [-no-fuse] [-no-shapes] file.php
 //
 // -prof-load jumpstarts the engine from a profile snapshot before the
 // first request; -prof-dump persists the profile after the last one
@@ -41,6 +41,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "deterministic seed for the fault injector")
 	compileWorkers := flag.Int("compile-workers", 0, "fan the optimizing backend over this many goroutines (0/1 = serial)")
 	noFuse := flag.Bool("no-fuse", false, "disable dispatch fusion (superinstructions + per-run cycle settlement)")
+	noShapes := flag.Bool("no-shapes", false, "disable typed object shapes (shape guards + property inline caches)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -83,6 +84,7 @@ func main() {
 	}
 	cfg.CompileWorkers = *compileWorkers
 	cfg.FuseDispatch = !*noFuse
+	cfg.EnableShapes = !*noShapes
 	if *faultRate > 0 {
 		cfg.Faults = faultinject.New(faultinject.EnableAll(*faultSeed, *faultRate))
 	}
@@ -129,6 +131,8 @@ func main() {
 			st.BytesLive, st.BytesProfiling, st.BytesOptimized)
 		fmt.Fprintf(os.Stderr, "guard fails:  %d; side exits: %d; binds: %d\n",
 			st.GuardFails, st.SideExits, st.BindRequests)
+		fmt.Fprintf(os.Stderr, "shapes:       %d guards (%d failed), IC %d hits / %d misses / %d megamorphic, %d generic calls\n",
+			st.ShapeGuards, st.ShapeGuardFails, st.PropICHits, st.PropICMisses, st.PropICMega, st.GenericPropCalls)
 		fmt.Fprintf(os.Stderr, "heap:         %d increfs, %d decrefs, %d destructors, %d COW copies\n",
 			hs.IncRefs, hs.DecRefs, hs.Destructs, hs.CowCopies)
 		if *compileWorkers > 1 {

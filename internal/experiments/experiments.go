@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	goruntime "runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,6 +21,21 @@ import (
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
+
+// NoShapes disables typed object shapes in every experiment config —
+// the process-wide side of the -no-shapes toggle, so the whole
+// evaluation suite can be replayed on the pre-shapes compiler.
+var NoShapes bool
+
+// defaultCfg is jit.DefaultConfig with the global ablation toggles
+// applied; every experiment builds its configs through it.
+func defaultCfg() jit.Config {
+	cfg := jit.DefaultConfig()
+	if NoShapes {
+		cfg.EnableShapes = false
+	}
+	return cfg
+}
 
 // Quick reduces warmup/measure volume for fast runs (tests, benches).
 var Quick = perflab.Config{WarmupRequests: 30, MeasureRequests: 6}
@@ -47,7 +63,7 @@ func Fig8(pc perflab.Config) ([]Fig8Row, error) {
 	rows := make([]Fig8Row, 0, len(modes))
 	var regionMean float64
 	for _, m := range modes {
-		cfg := jit.DefaultConfig()
+		cfg := defaultCfg()
 		cfg.Mode = m
 		start := time.Now()
 		r, err := perflab.Measure(cfg, pc)
@@ -290,7 +306,7 @@ func HostThroughput(pc perflab.Config) (*HostThroughputResult, error) {
 	}
 	vs := make([]*variant, 2)
 	for i, fused := range []bool{false, true} {
-		cfg := jit.DefaultConfig()
+		cfg := defaultCfg()
 		cfg.FuseDispatch = fused
 		eng, eps, err := perflab.NewEngine(cfg)
 		if err != nil {
@@ -413,7 +429,7 @@ func Chain(pc perflab.Config) ([]ChainRow, error) {
 	for _, m := range modes {
 		outputs := map[string][2]string{}
 		for i, on := range []bool{false, true} {
-			cfg := jit.DefaultConfig()
+			cfg := defaultCfg()
 			cfg.Mode = m
 			cfg.EnableChaining = on
 			start := time.Now()
@@ -509,14 +525,14 @@ func fig10Variants() []struct {
 
 // Fig10 measures the slowdown from disabling each optimization.
 func Fig10(pc perflab.Config) ([]Fig10Row, error) {
-	base := jit.DefaultConfig()
+	base := defaultCfg()
 	baseline, err := perflab.Measure(base, pc)
 	if err != nil {
 		return nil, fmt.Errorf("fig10 baseline: %w", err)
 	}
 	var rows []Fig10Row
 	for _, v := range fig10Variants() {
-		cfg := jit.DefaultConfig()
+		cfg := defaultCfg()
 		v.mod(&cfg)
 		r, err := perflab.Measure(cfg, pc)
 		if err != nil {
@@ -557,7 +573,7 @@ func Fig11(pc perflab.Config, fractions []float64) ([]Fig11Row, error) {
 	if fractions == nil {
 		fractions = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
 	}
-	base := jit.DefaultConfig()
+	base := defaultCfg()
 	baseline, err := perflab.Measure(base, pc)
 	if err != nil {
 		return nil, fmt.Errorf("fig11 baseline: %w", err)
@@ -568,7 +584,7 @@ func Fig11(pc perflab.Config, fractions []float64) ([]Fig11Row, error) {
 	}
 	var rows []Fig11Row
 	for _, f := range fractions {
-		cfg := jit.DefaultConfig()
+		cfg := defaultCfg()
 		cfg.CodeCacheLimit = uint64(f * float64(baseBytes))
 		if cfg.CodeCacheLimit == 0 {
 			cfg.CodeCacheLimit = 1
@@ -663,7 +679,7 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 	res := &FaultsResult{Seed: seed, Rate: rate, Fired: map[string]uint64{}}
 
 	// JIT-disabled reference outputs: the fidelity oracle.
-	interpCfg := jit.DefaultConfig()
+	interpCfg := defaultCfg()
 	interpCfg.Mode = jit.ModeInterp
 	ref, err := perflab.Measure(interpCfg, pc)
 	if err != nil {
@@ -675,7 +691,7 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 	}
 
 	// Fault-free baseline.
-	base, err := perflab.Measure(jit.DefaultConfig(), pc)
+	base, err := perflab.Measure(defaultCfg(), pc)
 	if err != nil {
 		return nil, fmt.Errorf("faults baseline: %w", err)
 	}
@@ -684,7 +700,7 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 	// All faults on. The injected engine must complete the full
 	// warmup+measure protocol (Measure itself rejects nondeterministic
 	// output) and match the interpreter bit-for-bit.
-	cfg := jit.DefaultConfig()
+	cfg := defaultCfg()
 	cfg.Faults = faultinject.New(faultinject.EnableAll(seed, rate))
 	faulty, err := perflab.Measure(cfg, pc)
 	if err != nil {
@@ -706,7 +722,7 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 	// into a fresh engine with an in-flight corruption guaranteed to
 	// fire. The CRC-validated load must reject the snapshot whole and
 	// cold-start cleanly (no partial profile state).
-	donor, deps, err := perflab.NewEngine(jit.DefaultConfig())
+	donor, deps, err := perflab.NewEngine(defaultCfg())
 	if err != nil {
 		return nil, fmt.Errorf("faults snapshot donor: %w", err)
 	}
@@ -717,7 +733,7 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 			}
 		}
 	}
-	jcfg := jit.DefaultConfig()
+	jcfg := defaultCfg()
 	jcfg.Faults = cfg.Faults // accumulate onto the same injector's counters
 	jeng, _, err := perflab.NewEngine(jcfg)
 	if err != nil {
@@ -735,7 +751,7 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 	// Concurrent serving under injection: 4 workers share one
 	// fault-injected JIT; every request must complete (contained, not
 	// crashed) with reference-identical output.
-	wcfg := jit.DefaultConfig()
+	wcfg := defaultCfg()
 	wcfg.BackgroundCompile = true
 	wcfg.Faults = faultinject.New(faultinject.EnableAll(seed+1, rate))
 	weng, eps, err := perflab.NewEngine(wcfg)
@@ -787,13 +803,13 @@ func Faults(pc perflab.Config, seed int64, rate float64) (*FaultsResult, error) 
 	// Forced cache-recycling episode: size the budget at a fraction of
 	// the measured fault-free footprint so live minting exhausts it,
 	// and check that recycling reopened the cache.
-	probe := jit.DefaultConfig()
+	probe := defaultCfg()
 	probe.Mode = jit.ModeTracelet
 	probeRes, err := perflab.Measure(probe, pc)
 	if err != nil {
 		return nil, fmt.Errorf("faults recycle probe: %w", err)
 	}
-	rcfg := jit.DefaultConfig()
+	rcfg := defaultCfg()
 	rcfg.Mode = jit.ModeTracelet
 	rcfg.CodeCacheLimit = probeRes.CodeBytes / 3
 	if rcfg.CodeCacheLimit == 0 {
@@ -847,4 +863,209 @@ func ReportFaults(w io.Writer, r *FaultsResult) {
 	fmt.Fprintf(w, "recycle episode: %d cache-full events, %d recycle runs, %d evictions (%d bytes), latch cleared=%v, degrade level=%d\n",
 		rc.CacheFullEvents, rc.RecycleRuns, rc.Evictions, rc.EvictedBytes,
 		rc.LatchCleared, rc.DegradeLevel)
+}
+
+// ---------- Shapes ablation (DESIGN.md §14) ----------
+
+// ShapesRow is one endpoint of the shapes ablation: guest cost with
+// typed object shapes on vs off.
+type ShapesRow struct {
+	Endpoint  string
+	CyclesOn  float64
+	CyclesOff float64
+	// Speedup is off/on (>1 means shapes help).
+	Speedup float64
+}
+
+// ShapesResult is the shapes ablation over the shape-polymorphism
+// workload family. All per-request rates are steady-state: counter
+// deltas across the measurement phase divided by measured requests.
+type ShapesResult struct {
+	Rows []ShapesRow
+	// WeightedOn/Off are traffic-weighted mean cycles/request.
+	WeightedOn, WeightedOff float64
+	// Shape-machinery rates with shapes on.
+	GuardsPerReq     float64
+	GuardFailsPerReq float64
+	ICHitsPerReq     float64
+	ICMissesPerReq   float64
+	ICMegaPerReq     float64
+	// Generic by-name property-helper call rates on both sides of the
+	// toggle — the number the gate requires to drop >=5x.
+	GenericOnPerReq  float64
+	GenericOffPerReq float64
+	// Mono* are the steady counters of a mono-only run (traffic pinned
+	// to shape_mono): the monomorphic site must resolve through shape
+	// guards alone, with the IC and the generic helper both idle.
+	MonoGuards  uint64
+	MonoICOps   uint64
+	MonoGeneric uint64
+	// OutputsIdentical reports every endpoint produced bit-identical
+	// output across the toggle (Shapes also fails hard if not).
+	OutputsIdentical bool
+}
+
+// shapesFamily returns the shape-polymorphism endpoints from the
+// suite (the shape_ name prefix).
+func shapesFamily() []workload.Endpoint {
+	var eps []workload.Endpoint
+	for _, ep := range workload.Suite() {
+		if strings.HasPrefix(ep.Name, "shape_") {
+			eps = append(eps, ep)
+		}
+	}
+	return eps
+}
+
+// steadyRate is a measurement-phase per-request rate from a counter
+// delta.
+func steadyRate(r *perflab.Result, get func(jit.Stats) uint64) float64 {
+	if r.MeasuredRequests == 0 {
+		return 0
+	}
+	return float64(get(r.JITStats)-get(r.WarmStats)) / float64(r.MeasuredRequests)
+}
+
+// Shapes runs the typed-object-shapes ablation: the shape workload
+// family measured shapes-on and shapes-off, plus a mono-only run
+// checking that a shape-monomorphic site needs nothing beyond its
+// single guard.
+func Shapes(pc perflab.Config) (*ShapesResult, error) {
+	family := shapesFamily()
+	if len(family) == 0 {
+		return nil, fmt.Errorf("shapes: no shape_ endpoints in suite")
+	}
+	fpc := pc
+	fpc.Endpoints = family
+
+	var runs [2]*perflab.Result
+	for i, on := range []bool{true, false} {
+		cfg := defaultCfg()
+		cfg.EnableShapes = on
+		r, err := perflab.Measure(cfg, fpc)
+		if err != nil {
+			return nil, fmt.Errorf("shapes enabled=%v: %w", on, err)
+		}
+		runs[i] = r
+	}
+	onRun, offRun := runs[0], runs[1]
+
+	res := &ShapesResult{
+		WeightedOn:       onRun.WeightedMean,
+		WeightedOff:      offRun.WeightedMean,
+		GuardsPerReq:     steadyRate(onRun, func(s jit.Stats) uint64 { return s.ShapeGuards }),
+		GuardFailsPerReq: steadyRate(onRun, func(s jit.Stats) uint64 { return s.ShapeGuardFails }),
+		ICHitsPerReq:     steadyRate(onRun, func(s jit.Stats) uint64 { return s.PropICHits }),
+		ICMissesPerReq:   steadyRate(onRun, func(s jit.Stats) uint64 { return s.PropICMisses }),
+		ICMegaPerReq:     steadyRate(onRun, func(s jit.Stats) uint64 { return s.PropICMega }),
+		GenericOnPerReq:  steadyRate(onRun, func(s jit.Stats) uint64 { return s.GenericPropCalls }),
+		GenericOffPerReq: steadyRate(offRun, func(s jit.Stats) uint64 { return s.GenericPropCalls }),
+		OutputsIdentical: true,
+	}
+	offBy := map[string]perflab.EndpointResult{}
+	for _, ep := range offRun.Endpoints {
+		offBy[ep.Name] = ep
+	}
+	for _, ep := range onRun.Endpoints {
+		off, ok := offBy[ep.Name]
+		if !ok {
+			return nil, fmt.Errorf("shapes: endpoint %s missing from shapes-off run", ep.Name)
+		}
+		if ep.Output != off.Output {
+			return nil, fmt.Errorf("shapes: endpoint %s output differs across the toggle", ep.Name)
+		}
+		row := ShapesRow{Endpoint: ep.Name, CyclesOn: ep.MeanCycles, CyclesOff: off.MeanCycles}
+		if row.CyclesOn > 0 {
+			row.Speedup = row.CyclesOff / row.CyclesOn
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Mono-only traffic: the class-polymorphic, shape-monomorphic
+	// endpoint must settle on guard-only access.
+	var mono []workload.Endpoint
+	for _, ep := range family {
+		if ep.Name == "shape_mono" {
+			mono = append(mono, ep)
+		}
+	}
+	if len(mono) == 1 {
+		mpc := pc
+		mpc.Endpoints = mono
+		mr, err := perflab.Measure(defaultCfgShapesOn(), mpc)
+		if err != nil {
+			return nil, fmt.Errorf("shapes mono run: %w", err)
+		}
+		res.MonoGuards = mr.JITStats.ShapeGuards - mr.WarmStats.ShapeGuards
+		res.MonoICOps = (mr.JITStats.PropICHits - mr.WarmStats.PropICHits) +
+			(mr.JITStats.PropICMisses - mr.WarmStats.PropICMisses) +
+			(mr.JITStats.PropICMega - mr.WarmStats.PropICMega)
+		res.MonoGeneric = mr.JITStats.GenericPropCalls - mr.WarmStats.GenericPropCalls
+	}
+	return res, nil
+}
+
+// defaultCfgShapesOn forces shapes on regardless of the NoShapes
+// toggle — the mono-only structural check is about the shape
+// machinery itself, not the ablation baseline.
+func defaultCfgShapesOn() jit.Config {
+	cfg := jit.DefaultConfig()
+	cfg.EnableShapes = true
+	return cfg
+}
+
+// GateErr checks the acceptance gate: generic property-helper calls
+// per request must drop at least 5x with shapes on, guest cycles must
+// improve, and the monomorphic endpoint must run on shape guards
+// alone (no IC traffic, no generic calls).
+func (r *ShapesResult) GateErr() error {
+	if r.GenericOnPerReq*5 > r.GenericOffPerReq {
+		return fmt.Errorf("shapes gate: generic calls/req %.1f -> %.1f is under a 5x drop",
+			r.GenericOffPerReq, r.GenericOnPerReq)
+	}
+	if r.WeightedOn >= r.WeightedOff {
+		return fmt.Errorf("shapes gate: cycles/req did not improve (%.0f on vs %.0f off)",
+			r.WeightedOn, r.WeightedOff)
+	}
+	if r.MonoGuards == 0 {
+		return fmt.Errorf("shapes gate: mono-only run executed no shape guards")
+	}
+	if r.MonoICOps != 0 || r.MonoGeneric != 0 {
+		return fmt.Errorf("shapes gate: mono-only run was not guard-only (ic=%d generic=%d)",
+			r.MonoICOps, r.MonoGeneric)
+	}
+	if !r.OutputsIdentical {
+		return fmt.Errorf("shapes gate: outputs differ across the toggle")
+	}
+	return nil
+}
+
+// ReportShapes renders the ablation.
+func ReportShapes(w io.Writer, r *ShapesResult) {
+	fmt.Fprintf(w, "Typed object shapes — shape-guarded access vs class-keyed/generic (DESIGN.md §14)\n")
+	fmt.Fprintf(w, "%-16s %14s %14s %9s\n", "endpoint", "cycles on", "cycles off", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %14.0f %14.0f %8.3fx\n", row.Endpoint, row.CyclesOn, row.CyclesOff, row.Speedup)
+	}
+	fmt.Fprintf(w, "%-16s %14.0f %14.0f %8.3fx\n", "WEIGHTED MEAN", r.WeightedOn, r.WeightedOff,
+		r.WeightedOff/r.WeightedOn)
+	fmt.Fprintf(w, "steady per-req: guards=%.1f fails=%.1f ic-hit=%.1f ic-miss=%.1f ic-mega=%.1f\n",
+		r.GuardsPerReq, r.GuardFailsPerReq, r.ICHitsPerReq, r.ICMissesPerReq, r.ICMegaPerReq)
+	fmt.Fprintf(w, "generic prop calls/req: %.1f with shapes vs %.1f without (%.1fx drop)\n",
+		r.GenericOnPerReq, r.GenericOffPerReq, genericDrop(r))
+	fmt.Fprintf(w, "mono-only run: %d shape guards, %d IC ops, %d generic calls\n",
+		r.MonoGuards, r.MonoICOps, r.MonoGeneric)
+	if err := r.GateErr(); err != nil {
+		fmt.Fprintf(w, "gate: FAIL — %v\n", err)
+	} else {
+		fmt.Fprintf(w, "gate: ok (>=5x generic drop, cycles improved, mono guard-only, outputs identical)\n")
+	}
+}
+
+// genericDrop is the off/on generic-call ratio for display.
+func genericDrop(r *ShapesResult) float64 {
+	if r.GenericOnPerReq == 0 {
+		return r.GenericOffPerReq
+	}
+	return r.GenericOffPerReq / r.GenericOnPerReq
 }

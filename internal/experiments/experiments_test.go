@@ -143,3 +143,27 @@ func TestFig10Directions(t *testing.T) {
 		}
 	}
 }
+
+// TestShapesAcceptance runs the shapes ablation at quick volume and
+// holds it to the acceptance gate: >=5x fewer generic property-helper
+// calls per request, improved guest cycles, guard-only monomorphic
+// access, and bit-identical outputs across the toggle.
+func TestShapesAcceptance(t *testing.T) {
+	res, err := experiments.Shapes(experiments.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	experiments.ReportShapes(os.Stderr, res)
+	if err := res.GateErr(); err != nil {
+		t.Error(err)
+	}
+	for _, row := range res.Rows {
+		if row.Speedup <= 1.0 {
+			t.Errorf("endpoint %s regressed with shapes on: %.3fx", row.Endpoint, row.Speedup)
+		}
+	}
+	if res.GuardFailsPerReq != 0 {
+		t.Errorf("steady-state shape guards failed (%.1f/req): optimized code is guessing wrong layouts",
+			res.GuardFailsPerReq)
+	}
+}

@@ -25,6 +25,13 @@ type BuildConfig struct {
 	// DisableInlineCache additionally removes inline caching (the
 	// paper's Figure 10 "method dispatch" ablation disables both).
 	DisableInlineCache bool
+	// EnableShapes turns shape-guarded property access on: profiled
+	// monomorphic sites compile to GuardShape + fixed-slot access,
+	// polymorphic/unprofiled sites to a self-filling shape IC, and
+	// megamorphic sites (>4 shapes) stay on the generic helper
+	// (DESIGN.md §14). Profiling translations instead record the
+	// receiver shape per site and keep the generic paths.
+	EnableShapes bool
 	// Counters supplies call-target profiles in optimized mode.
 	Counters *profile.Counters
 	// RegionOf returns a callee's region for inlining (nil to decline).
@@ -279,7 +286,15 @@ func (b *builder) lowerGuard(ri int, rb *region.Block, g region.Guard, isEntry b
 		slot := b.slot(int32(g.Loc.Slot))
 		if isEntry || types.TCell.SubtypeOf(g.Type) {
 			// Dispatcher-checked, inline-proven, or vacuous: assert.
-			b.setLocalType(slot, g.Type)
+			// Intersect rather than overwrite — an inlined callee's
+			// widened precondition (e.g. bare Obj at a shape site) must
+			// not erase an exact class the inliner proved from the
+			// argument types.
+			nt := b.localType(slot).Intersect(g.Type)
+			if nt.IsBottom() {
+				nt = g.Type
+			}
+			b.setLocalType(slot, nt)
 			return
 		}
 		in := &Instr{Op: GuardLoc, I64: int64(slot), TypeParam: g.Type}

@@ -174,3 +174,51 @@ func TestUnitPrinting(t *testing.T) {
 }
 
 var _ = hhbc.OpNop
+
+// TestShapeGuardElim exercises the pass directly on a hand-built
+// unit: a dominated identical guard dies, a different shape ID on the
+// same value does not, and a shape-mutating op in between kills the
+// learned fact.
+func TestShapeGuardElim(t *testing.T) {
+	build := func(mid hhir.Opcode, secondID int64) *hhir.Unit {
+		u := hhir.NewUnit(&hhbc.Func{Name: "t"})
+		b := u.NewBlock(0)
+		u.Entry = b
+		obj := u.NewTmp(types.TObj)
+		b.Instrs = append(b.Instrs,
+			&hhir.Instr{Op: hhir.GuardShape, I64: 7, Args: []*hhir.SSATmp{obj}})
+		if mid != hhir.Nop {
+			b.Instrs = append(b.Instrs, &hhir.Instr{Op: mid})
+		}
+		b.Instrs = append(b.Instrs,
+			&hhir.Instr{Op: hhir.GuardShape, I64: secondID, Args: []*hhir.SSATmp{obj}},
+			&hhir.Instr{Op: hhir.Ret})
+		return u
+	}
+
+	u := build(hhir.Nop, 7)
+	hhir.ShapeGuardElim(u)
+	if n := countOps(u, hhir.GuardShape); n != 1 {
+		t.Errorf("dominated identical guard survived: %d guards left:\n%s", n, u)
+	}
+
+	u = build(hhir.Nop, 9)
+	hhir.ShapeGuardElim(u)
+	if n := countOps(u, hhir.GuardShape); n != 2 {
+		t.Errorf("guard for a different shape was removed: %d guards left:\n%s", n, u)
+	}
+
+	// A call may run arbitrary guest code and mutate any shape.
+	u = build(hhir.CallFunc, 7)
+	hhir.ShapeGuardElim(u)
+	if n := countOps(u, hhir.GuardShape); n != 2 {
+		t.Errorf("guard after a shape-mutating call was removed: %d guards left:\n%s", n, u)
+	}
+
+	// A guarded typed store preserves the shape: the fact survives.
+	u = build(hhir.StPropSlot, 7)
+	hhir.ShapeGuardElim(u)
+	if n := countOps(u, hhir.GuardShape); n != 1 {
+		t.Errorf("StPropSlot should not invalidate the shape fact: %d guards left:\n%s", n, u)
+	}
+}

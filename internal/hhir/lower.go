@@ -2,6 +2,8 @@ package hhir
 
 import (
 	"repro/internal/hhbc"
+	"repro/internal/profile"
+	"repro/internal/shapes"
 	"repro/internal/types"
 )
 
@@ -414,11 +416,16 @@ func (b *builder) lowerInstr(in hhbc.Instr, pc int, ri int) (bool, error) {
 		b.incRef(v)
 		b.push(v)
 	case hhbc.OpCGetPropD:
+		// Snapshot the exit while obj is still on the stack, so a
+		// failed shape speculation re-executes the access in the
+		// interpreter (same idiom as method devirtualization).
+		specExit := b.exitDesc(pc, false)
 		obj := b.pop()
-		b.push(b.propGet(obj, u.Strings[in.A]))
+		b.push(b.propGet(obj, u.Strings[in.A], pc, specExit))
 	case hhbc.OpSetPropD:
+		specExit := b.exitDesc(pc, false)
 		val, obj := b.pop(), b.pop()
-		b.propSet(obj, u.Strings[in.A], val)
+		b.propSet(obj, u.Strings[in.A], val, pc, specExit)
 		b.push(val)
 	case hhbc.OpInstanceOfD:
 		v := b.pop()
@@ -617,9 +624,19 @@ func (b *builder) arrGet(arr, key *SSATmp) *SSATmp {
 	return dst
 }
 
-// propGet lowers property reads: slot-direct when the class is known
-// exactly, generic helper otherwise. Consumes obj's ref; result owned.
-func (b *builder) propGet(obj *SSATmp, name string) *SSATmp {
+// propGet lowers property reads, best speculation first: slot-direct
+// when the class is statically exact; shape-guarded typed slot access
+// when the site's profile is monomorphic in shape (one guard covers
+// class-polymorphic receivers with identical layouts); a self-filling
+// shape IC for polymorphic or unprofiled sites; the generic helper
+// for megamorphic sites or with shapes disabled. Profiling
+// translations record the receiver shape and keep the generic paths.
+// Consumes obj's ref; result owned. specExit was snapshotted before
+// the pop, so a shape-guard failure re-executes the bytecode.
+func (b *builder) propGet(obj *SSATmp, name string, pc int, specExit *ExitDesc) *SSATmp {
+	if b.cfg.Profiling && b.cfg.EnableShapes {
+		b.emit(&Instr{Op: ProfPropShape, I64: int64(pc), Args: []*SSATmp{obj}})
+	}
 	if cls, exact := obj.Type.Class(); exact {
 		if rc, ok := b.env.ClassByName(cls); ok {
 			if slot, ok := rc.PropNames[name]; ok {
@@ -633,6 +650,30 @@ func (b *builder) propGet(obj *SSATmp, name string) *SSATmp {
 			}
 		}
 	}
+	if b.shapeSpecOK(obj) {
+		sp := b.sitePropShapes(pc)
+		if sh := monoShape(b.env.Shapes, sp); sh != nil {
+			if slot, ok := sh.Lookup(name); ok {
+				b.guardShape(obj, sh, specExit)
+				v := b.out.NewTmp(types.FromKind(sh.SlotKind(slot)))
+				in := &Instr{Op: LdPropSlot, Dst: v, I64: int64(slot), Args: []*SSATmp{obj}}
+				v.Def = in
+				b.emit(in)
+				b.incRef(v)
+				b.decRef(obj)
+				return v
+			}
+		}
+		if !megamorphic(sp) {
+			dst := b.out.NewTmp(types.TInitCell)
+			in := &Instr{Op: LdPropIC, Dst: dst, Str: name, Args: []*SSATmp{obj},
+				Exit: b.catchExit()}
+			dst.Def = in
+			b.emit(in)
+			b.decRef(obj)
+			return dst
+		}
+	}
 	dst := b.out.NewTmp(types.TInitCell)
 	in := &Instr{Op: LdPropGeneric, Dst: dst, Str: name, Args: []*SSATmp{obj},
 		Exit: b.catchExit()}
@@ -643,8 +684,14 @@ func (b *builder) propGet(obj *SSATmp, name string) *SSATmp {
 }
 
 // propSet stores a property; the stack keeps one reference to val, so
-// an extra IncRef feeds the property slot.
-func (b *builder) propSet(obj *SSATmp, name string, val *SSATmp) {
+// an extra IncRef feeds the property slot. Speculation ladder mirrors
+// propGet, with one extra constraint on the guarded path: the store
+// must not change the shape (slot exists with the same kind), since
+// StPropSlot after GuardShape assumes the layout is stable.
+func (b *builder) propSet(obj *SSATmp, name string, val *SSATmp, pc int, specExit *ExitDesc) {
+	if b.cfg.Profiling && b.cfg.EnableShapes {
+		b.emit(&Instr{Op: ProfPropShape, I64: int64(pc), Args: []*SSATmp{obj}})
+	}
 	b.incRef(val)
 	if cls, exact := obj.Type.Class(); exact {
 		if rc, ok := b.env.ClassByName(cls); ok {
@@ -655,9 +702,67 @@ func (b *builder) propSet(obj *SSATmp, name string, val *SSATmp) {
 			}
 		}
 	}
+	if b.shapeSpecOK(obj) {
+		sp := b.sitePropShapes(pc)
+		if sh := monoShape(b.env.Shapes, sp); sh != nil {
+			if slot, ok := sh.Lookup(name); ok && val.Type.SubtypeOf(types.FromKind(sh.SlotKind(slot))) {
+				b.guardShape(obj, sh, specExit)
+				b.emit(&Instr{Op: StPropSlot, I64: int64(slot), Args: []*SSATmp{obj, val}})
+				b.decRef(obj)
+				return
+			}
+		}
+		if !megamorphic(sp) {
+			b.emit(&Instr{Op: StPropIC, Str: name, Args: []*SSATmp{obj, val},
+				Exit: b.catchExit()})
+			b.decRef(obj)
+			return
+		}
+	}
 	b.emit(&Instr{Op: StPropGeneric, Str: name, Args: []*SSATmp{obj, val},
 		Exit: b.catchExit()})
 	b.decRef(obj)
+}
+
+// shapeSpecOK gates shape-based speculation: shapes enabled, not a
+// profiling translation, and the receiver statically known to be an
+// object (non-objects must reach the generic helper's error path).
+func (b *builder) shapeSpecOK(obj *SSATmp) bool {
+	return b.cfg.EnableShapes && !b.cfg.Profiling && obj.Type.SubtypeOf(types.TObj)
+}
+
+// sitePropShapes returns the profiled shape histogram for a bytecode
+// site, nil when unprofiled.
+func (b *builder) sitePropShapes(pc int) *profile.ShapeProfile {
+	if b.cfg.Counters == nil {
+		return nil
+	}
+	return b.cfg.Counters.PropShapes(profile.CallSite{FuncID: b.curFn().ID, PC: pc})
+}
+
+// monoShape returns the site's single observed shape when the profile
+// is warm and strictly monomorphic, nil otherwise.
+func monoShape(tree *shapes.Tree, sp *profile.ShapeProfile) *shapes.Shape {
+	if tree == nil || sp == nil || sp.Total < profile.ShapeWarmMin || len(sp.Shapes) != 1 {
+		return nil
+	}
+	return tree.ByID(sp.Shapes[0].Shape)
+}
+
+// megamorphic reports a site profiled with more shapes than a
+// polymorphic inline cache holds.
+func megamorphic(sp *profile.ShapeProfile) bool {
+	return sp != nil && len(sp.Shapes) > icCapacity
+}
+
+// icCapacity is the polymorphic inline cache size: sites observed
+// with more shapes go straight to the generic helper instead of
+// thrashing the cache.
+const icCapacity = 4
+
+func (b *builder) guardShape(obj *SSATmp, sh *shapes.Shape, specExit *ExitDesc) {
+	b.emit(&Instr{Op: GuardShape, I64: int64(sh.ID), Args: []*SSATmp{obj},
+		Exit: specExit})
 }
 
 // trampoline makes a block that transfers control to pc (chain jump

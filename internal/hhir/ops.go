@@ -95,6 +95,12 @@ const (
 	StPropGeneric // Str = prop name; Args: obj, val; helper
 	InstanceOf    // Str = class; Args[0]; Dst Bool
 
+	// Typed object shapes (DESIGN.md §14).
+	GuardShape    // Args[0] = obj; I64 = shape id; Exit on mismatch
+	LdPropIC      // Str = prop name; Args[0] = obj; shape-guarded inline cache
+	StPropIC      // Str = prop name; Args: obj, val; shape-guarded inline cache
+	ProfPropShape // I64 = bc pc; Args[0] = obj: record receiver shape (profiling mode)
+
 	// Calls. Str = name; I64 = callee func id (-1 unknown).
 	CallFunc     // direct guest call; Args = args
 	CallBuiltin  // Str = builtin name
@@ -141,6 +147,8 @@ var opNames2 = map[Opcode]string{
 	IterValue: "IterValue", IterFree: "IterFree",
 	NewObj: "NewObj", LdPropSlot: "LdPropSlot", StPropSlot: "StPropSlot",
 	LdPropGeneric: "LdPropGeneric", StPropGeneric: "StPropGeneric", InstanceOf: "InstanceOf",
+	GuardShape: "GuardShape", LdPropIC: "LdPropIC", StPropIC: "StPropIC",
+	ProfPropShape: "ProfPropShape",
 	CallFunc: "CallFunc", CallBuiltin: "CallBuiltin", CallMethodD: "CallMethodD",
 	CallMethodC: "CallMethodC", VerifyParam: "VerifyParam",
 	ProfCount: "ProfCount", ProfCallSite: "ProfCallSite",
@@ -174,7 +182,7 @@ func opUsesI64(o Opcode) bool {
 		ArrSetLocal, ArrAppendLocal, ArrUnsetLocal, AKExistsLocal,
 		LdPropSlot, StPropSlot, CallMethodD, VerifyParam, ProfCount,
 		IterInitLocal, IterNextK, IterKey, IterValue, IterFree, ReqBind,
-		CheckCls:
+		CheckCls, GuardShape, ProfPropShape:
 		return true
 	}
 	return false
@@ -203,7 +211,7 @@ func (o Opcode) CanThrow() bool {
 	case ModInt, DivNum, BinopGeneric, ArrGetGeneric, ArrSetLocal,
 		ArrAppendLocal, CallFunc, CallBuiltin, CallMethodD, CallMethodC,
 		VerifyParam, NewObj, LdPropGeneric, StPropGeneric, ThrowC,
-		ArrGetPackedI, EqAny, SameAny:
+		ArrGetPackedI, EqAny, SameAny, LdPropIC, StPropIC:
 		return true
 	}
 	return false
@@ -227,7 +235,7 @@ func (o Opcode) ObservesRC() bool {
 	case DecRef, ArrSetLocal, ArrAppendLocal, ArrUnsetLocal,
 		CallFunc, CallBuiltin, CallMethodD, CallMethodC, ThrowC, Ret,
 		SideExit, ReqBind, PrintC, AddElem, AddNewElem, StPropSlot, StPropGeneric,
-		IterInitLocal, EndInline:
+		StPropIC, IterInitLocal, EndInline:
 		return true
 	}
 	return false

@@ -34,6 +34,7 @@ func Optimize(u *Unit, cfg PassConfig) {
 	if cfg.GVN {
 		GVN(u)
 	}
+	ShapeGuardElim(u)
 	if cfg.Simplify {
 		Simplify(u)
 	}
@@ -478,6 +479,81 @@ func GVN(u *Unit) {
 		apply(b, map[key]*SSATmp{})
 	}
 	resolveCopies(u)
+}
+
+// ---------- Redundant shape-guard elimination ----------
+
+// ShapeGuardElim removes GuardShape instructions whose fact was
+// already established by an identical guard on the same SSA value
+// earlier in the block (or along a single-predecessor chain, the same
+// propagation LoadElim uses). Runs after GVN/LoadElim so repeated
+// loads of the same local share one SSA value. Facts die at any
+// instruction that can mutate an object's layout; StPropSlot is
+// deliberately exempt, since the shape-guarded store path only fires
+// when the stored kind matches the slot (DESIGN.md §14).
+func ShapeGuardElim(u *Unit) {
+	resolveCopies(u)
+	type state map[*SSATmp]int64
+	inState := map[*Block]state{}
+	for _, b := range u.RPO() {
+		var st state
+		if len(b.Preds) == 1 {
+			if s, ok := inState[b]; ok {
+				st = s
+			}
+		}
+		if st == nil {
+			st = state{}
+		}
+		copyState := func() state {
+			ns := make(state, len(st))
+			for k, v := range st {
+				ns[k] = v
+			}
+			return ns
+		}
+		snapshot := func(target *Block) {
+			if target != nil && len(target.Preds) == 1 {
+				inState[target] = copyState()
+			}
+		}
+		for _, in := range b.Instrs {
+			if in.dead {
+				continue
+			}
+			if in.Taken != nil && !in.Op.IsTerminator() {
+				snapshot(in.Taken)
+			}
+			switch {
+			case in.Op == GuardShape:
+				obj := in.Args[0]
+				if id, ok := st[obj]; ok && id == in.I64 {
+					in.dead = true
+				} else {
+					st[obj] = in.I64
+				}
+			case mayMutateShape(in.Op):
+				st = state{}
+			}
+		}
+		if t := b.Terminator(); t != nil {
+			snapshot(t.Taken)
+			snapshot(t.Next)
+		}
+	}
+	commitDead(u)
+}
+
+// mayMutateShape reports ops that can change some object's property
+// layout: dynamic-property stores and anything that runs arbitrary
+// guest code (which may write properties through another reference).
+func mayMutateShape(op Opcode) bool {
+	switch op {
+	case StPropIC, StPropGeneric, CallFunc, CallBuiltin, CallMethodD,
+		CallMethodC, BinopGeneric:
+		return true
+	}
+	return false
 }
 
 // ---------- Load elimination ----------

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/hhbc"
 	"repro/internal/runtime"
+	"repro/internal/shapes"
 	"repro/internal/types"
 )
 
@@ -35,6 +36,12 @@ type Env struct {
 	Out     io.Writer
 	Meter   Meter
 	Classes map[string]*runtime.Class
+
+	// Shapes is the object-shape universe for this class table,
+	// created at link time and shared (like Classes) across every
+	// worker environment: compiled shape guards embed shape IDs, so
+	// shape identity must be global across the shared code cache.
+	Shapes *shapes.Tree
 
 	// Call dispatches guest function calls; OnEnter observes entries
 	// into interpreted functions.
@@ -62,6 +69,7 @@ func NewEnv(u *hhbc.Unit, heap *runtime.Heap, out io.Writer) (*Env, error) {
 	env := &Env{
 		Unit: u, Heap: heap, Out: out,
 		Classes:  map[string]*runtime.Class{},
+		Shapes:   shapes.NewTree(),
 		MaxDepth: 512,
 	}
 	env.Call = env.interpCall
@@ -86,6 +94,7 @@ func NewEnvFrom(base *Env, heap *runtime.Heap, out io.Writer) *Env {
 	env := &Env{
 		Unit: base.Unit, Heap: heap, Out: out,
 		Classes:  base.Classes,
+		Shapes:   base.Shapes,
 		MaxDepth: base.MaxDepth,
 	}
 	env.Call = env.interpCall
@@ -154,6 +163,18 @@ func (e *Env) link() error {
 		for m, id := range def.Methods {
 			cls.Methods[m] = id
 		}
+		// Root shape: the declared layout in slot order with
+		// default-value kinds. Interned by layout, so classes with
+		// identical flattened properties share a root (one shape
+		// guard then covers a class-polymorphic site).
+		slots := make([]shapes.Slot, len(cls.PropInit))
+		for pname, i := range cls.PropNames {
+			slots[i].Name = pname
+		}
+		for i, v := range cls.PropInit {
+			slots[i].Kind = v.Kind
+		}
+		cls.RootShape = e.Shapes.Root(slots)
 		// Ancestor bitset for bitwise instanceof checks.
 		cls.SetAncestorID(cls.ClassID)
 		if cls.Parent != nil {

@@ -563,11 +563,7 @@ func (e *Env) step(fr *Frame) (runtime.Value, error) {
 				h.DecRef(ov)
 				return runtime.Null(), runtime.NewError("property access on non-object")
 			}
-			p, ok := ov.O.GetProp(u.Strings[in.A])
-			if !ok || p.Kind == types.KUninit {
-				p = runtime.Null()
-			}
-			h.IncRef(p)
+			p := runtime.GetPropNamed(h, ov.O, u.Strings[in.A])
 			h.DecRef(ov)
 			fr.push(p)
 		case hhbc.OpSetPropD:
@@ -578,8 +574,7 @@ func (e *Env) step(fr *Frame) (runtime.Value, error) {
 				return runtime.Null(), runtime.NewError("property write on non-object")
 			}
 			h.IncRef(val) // one ref into the prop, one back on the stack
-			if err := ov.O.SetProp(h, u.Strings[in.A], val); err != nil {
-				h.DecRef(val)
+			if err := runtime.SetPropNamed(h, ov.O, u.Strings[in.A], val); err != nil {
 				h.DecRef(val)
 				h.DecRef(ov)
 				return runtime.Null(), runtime.NewError("%s", err.Error())

@@ -73,6 +73,15 @@ type Config struct {
 	FunctionSort bool
 	HugePages    bool
 
+	// EnableShapes turns on typed object shapes in the compiler
+	// (DESIGN.md §14): profiling translations record receiver shapes
+	// per property site, optimized translations compile monomorphic
+	// sites to GuardShape + fixed-slot access and polymorphic ones to
+	// shape-guarded inline caches. Runtime shape maintenance is
+	// unconditional — the toggle changes generated code only, so guest
+	// outputs are bit-identical either way.
+	EnableShapes bool
+
 	// EnableChaining turns on direct translation chaining: bind jumps
 	// and direct call sites are smashed with links to their resolved
 	// successor translations, so steady-state transfers stay inside
@@ -155,6 +164,7 @@ func DefaultConfig() Config {
 		EnableRCE:            true,
 		EnableGuardRelax:     true,
 		EnableMethodDispatch: true,
+		EnableShapes:         true,
 		EnableChaining:       true,
 		PGOLayout:            true,
 		FunctionSort:         true,
@@ -284,6 +294,14 @@ type Stats struct {
 	ChainMismatches uint64
 	LinksSwept      uint64
 
+	// Typed-object-shape activity (mirrors machine.ShapeStats).
+	ShapeGuards      uint64
+	ShapeGuardFails  uint64
+	PropICHits       uint64
+	PropICMisses     uint64
+	PropICMega       uint64
+	GenericPropCalls uint64
+
 	// Fault containment and self-healing (DESIGN.md §11).
 	// TransFaults counts contained translation faults (panic or
 	// internal error converted to an interpreter re-execution).
@@ -358,6 +376,9 @@ type JIT struct {
 	// Chain aggregates direct-chaining statistics across every worker
 	// machine (each worker's Machine.Chain points here).
 	Chain machine.ChainStats
+	// Shapes aggregates shape-guard and property-IC statistics across
+	// every worker machine (each worker's Machine.Shapes points here).
+	Shapes machine.ShapeStats
 
 	// mu is the writer mutex: index publication and the mutable
 	// tables below.
@@ -483,6 +504,13 @@ func (j *JIT) Stats() Stats {
 		ChainMismatches: j.Chain.ChainMismatches.Load(),
 		LinksSwept:      j.Chain.LinksSwept.Load(),
 
+		ShapeGuards:      j.Shapes.Guards.Load(),
+		ShapeGuardFails:  j.Shapes.GuardFails.Load(),
+		PropICHits:       j.Shapes.ICHits.Load(),
+		PropICMisses:     j.Shapes.ICMisses.Load(),
+		PropICMega:       j.Shapes.ICMega.Load(),
+		GenericPropCalls: j.Shapes.GenericPropCalls.Load(),
+
 		TransFaults:          ld(&s.TransFaults),
 		CompileFailures:      ld(&s.CompileFailures),
 		QuarantineRetries:    ld(&s.QuarantineRetries),
@@ -579,6 +607,34 @@ func (s frameTypeSource) StackType(depth int) types.Type {
 		return s.fr.Stack[depth].Type()
 	}
 	return types.TCell
+}
+
+// shapeSource extends any TypeSource with typed-object-shape facts
+// (region.ShapeFactSource). Its presence switches the selector's
+// property-access policy from exact-class specialization to bare
+// object-ness — the optimized body carries a shape guard or IC for the
+// layout instead — and property reads at shape-monomorphic sites flow
+// their recorded slot kind into the selector, so tracelets keep
+// tracing through them.
+type shapeSource struct {
+	region.TypeSource
+	j *JIT
+}
+
+func (s shapeSource) PropReadType(fnID, pc int, name string) types.Type {
+	sp := s.j.Counters.PropShapes(profile.CallSite{FuncID: fnID, PC: pc})
+	if sp == nil || sp.Total < profile.ShapeWarmMin || len(sp.Shapes) != 1 {
+		return types.TInitCell
+	}
+	sh := s.j.Env.Shapes.ByID(sp.Shapes[0].Shape)
+	if sh == nil {
+		return types.TInitCell
+	}
+	slot, ok := sh.Lookup(name)
+	if !ok {
+		return types.TInitCell
+	}
+	return types.FromKind(sh.SlotKind(slot))
 }
 
 // guardsMatch checks a translation's preconditions against live frame

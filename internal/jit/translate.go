@@ -150,14 +150,25 @@ func (j *JIT) layoutConfig() vasm.LayoutConfig {
 // translateLive builds a gen-1 style tracelet translation from the
 // live frame state.
 func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
-	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), frameTypeSource{fr},
+	var src region.TypeSource = frameTypeSource{fr}
+	if j.Cfg.EnableShapes {
+		// Shape facts: profiled monomorphic property reads type their
+		// results in the selector, extending tracelets through them.
+		src = shapeSource{frameTypeSource{fr}, j}
+	}
+	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), src,
 		region.ModeLive, 0)
 	desc := region.NewDesc(blk)
 	bcfg := hhir.BuildConfig{
-		// Live translations have no profile data; inline caching
-		// handles dispatch (Section 5.3.3).
+		// Live translations have no call-profile-driven optimizations;
+		// inline caching handles dispatch (Section 5.3.3). Shape ICs
+		// are likewise self-filling, so live code gets them too, and
+		// Counters are threaded so shape-monomorphic sites can take the
+		// guarded fixed-slot path once a profile exists.
 		EnableInlining:       false,
 		EnableMethodDispatch: false,
+		EnableShapes:         j.Cfg.EnableShapes,
+		Counters:             j.Counters,
 	}
 	code, err := j.compile(desc, bcfg, j.passConfig(false),
 		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaLive, m)
@@ -190,11 +201,21 @@ func (j *JIT) translateLive(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *
 
 // translateProfiling builds an instrumented single-block translation.
 func (j *JIT) translateProfiling(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
-	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), frameTypeSource{fr},
+	var src region.TypeSource = frameTypeSource{fr}
+	if j.Cfg.EnableShapes {
+		// Profiling preconditions seed the optimized regions, so the
+		// shape property-access policy (no class pinning at access
+		// sites) must apply here or optimized translations inherit
+		// per-class entry guards that the shape guard was meant to
+		// replace.
+		src = shapeSource{frameTypeSource{fr}, j}
+	}
+	blk := region.Select(j.Unit, fn, fr.PC, len(fr.Stack), src,
 		region.ModeProfiling, 0)
 	blk.ProfCounter = j.Counters.NewCounter()
 	desc := region.NewDesc(blk)
-	bcfg := hhir.BuildConfig{Profiling: true, Counter: blk.ProfCounter}
+	bcfg := hhir.BuildConfig{Profiling: true, Counter: blk.ProfCounter,
+		EnableShapes: j.Cfg.EnableShapes}
 	code, err := j.compile(desc, bcfg, j.passConfig(true),
 		vasm.LayoutConfig{ProfileGuided: false, SplitCold: true}, mcode.AreaProfile, m)
 	if err != nil {
@@ -339,6 +360,7 @@ func (j *JIT) OptimizeAll() {
 		EnableInlining:       j.Cfg.EnableInlining,
 		EnableMethodDispatch: j.Cfg.EnableMethodDispatch,
 		DisableInlineCache:   !j.Cfg.EnableMethodDispatch,
+		EnableShapes:         j.Cfg.EnableShapes,
 		Counters:             j.Counters,
 		RegionOf:             j.regionForInline,
 	}
@@ -569,7 +591,10 @@ func (j *JIT) regionForInline(f *hhbc.Func, argTypes []types.Type) *region.Desc 
 		}
 	}
 	// Synthesize from argument types (static region).
-	src := argTypeSource{argTypes: argTypes, fn: f}
+	var src region.TypeSource = argTypeSource{argTypes: argTypes, fn: f}
+	if j.Cfg.EnableShapes {
+		src = shapeSource{src, j}
+	}
 	blk := region.Select(j.Unit, f, 0, 0, src, region.ModeLive, 0)
 	return region.NewDesc(blk)
 }

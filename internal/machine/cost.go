@@ -39,7 +39,7 @@ func opCost(op vasm.Op) uint64 {
 		return 3 // L1 load
 	case vasm.StLoc, vasm.Spill:
 		return 2
-	case vasm.GuardKind, vasm.GuardCls:
+	case vasm.GuardKind, vasm.GuardCls, vasm.GuardShape:
 		return 2 // cmp+branch, predicted
 	case vasm.AddI, vasm.SubI, vasm.NegI, vasm.CmpI:
 		return 1
@@ -71,8 +71,10 @@ func opCost(op vasm.Op) uint64 {
 		return 14
 	case vasm.CallMethodC:
 		return 28
-	case vasm.CountInc, vasm.ProfCallSite:
+	case vasm.CountInc, vasm.ProfCallSite, vasm.ProfPropShape:
 		return 12 // shared-counter increment
+	case vasm.LdPropIC, vasm.StPropIC:
+		return 6 // shape load + cache probe + slot access (hit cost)
 	case vasm.Jmp:
 		return 1
 	case vasm.Jcc:
@@ -153,4 +155,13 @@ const (
 const (
 	smashedJumpCost = 2
 	chainGuardCost  = 1
+)
+
+// Shape-IC dynamic costs, charged on top of the static hit cost: a
+// miss walks the shape's slot table and rewrites the cache line; a
+// megamorphic probe falls through to the generic helper (call
+// overhead + helper body, matching Helper + HLdPropGeneric).
+const (
+	icMissCost = 12
+	icMegaCost = 15
 )

@@ -113,6 +113,48 @@ type ChainStats struct {
 	LinksSwept atomic.Uint64
 }
 
+// ShapeStats counts shape-guard and property-IC activity. One
+// instance is shared by every worker machine of a JIT (all fields
+// atomic).
+type ShapeStats struct {
+	// Guards / GuardFails count GuardShape executions and failures.
+	Guards     atomic.Uint64
+	GuardFails atomic.Uint64
+	// ICHits / ICMisses / ICMega count shape-IC probes that hit a
+	// cached entry, rewrote the cache, or fell through a megamorphic
+	// cache to the generic path.
+	ICHits   atomic.Uint64
+	ICMisses atomic.Uint64
+	ICMega   atomic.Uint64
+	// GenericPropCalls counts property accesses resolved by the
+	// generic by-name helpers (megamorphic fallback, LdPropGeneric /
+	// StPropGeneric, and IC probes on shapeless or dynamic-miss
+	// receivers).
+	GenericPropCalls atomic.Uint64
+}
+
+// propICCapacity is the polymorphic inline cache size; beyond it a
+// site is marked megamorphic and stops probing.
+const propICCapacity = 4
+
+// PropIC is one property site's polymorphic inline cache, burned into
+// the site's smashable link slot: up to propICCapacity (shape ID ->
+// slot) pairs. Tables are immutable once published — misses install a
+// copied table (last-writer-wins, a benign race: a lost entry is
+// re-installed on the next miss) — and the link's epoch stamp
+// invalidates the whole site wholesale at OptimizeAll republish.
+type PropIC struct {
+	N       int
+	Mega    bool
+	Entries [propICCapacity]PropICEntry
+}
+
+// PropICEntry maps an object shape to the property's slot index.
+type PropICEntry struct {
+	Shape uint32
+	Slot  int32
+}
+
 // InlineResume is one materialized inline frame: run Frame; its
 // return value is pushed in the enclosing frame, which resumes at
 // RetBCOff.
@@ -159,6 +201,8 @@ type Machine struct {
 	Epoch *atomic.Uint64
 	// Chain is the JIT-shared chaining statistics sink.
 	Chain *ChainStats
+	// Shapes is the JIT-shared shape-guard/IC statistics sink.
+	Shapes *ShapeStats
 
 	// methodCache: per-site monomorphic inline caches.
 	methodCache map[int64]methodCacheEnt
@@ -179,6 +223,7 @@ func New(env *interp.Env, meter *Meter, counters *profile.Counters, cache *mcode
 		Env: env, Meter: meter, Counters: counters, Cache: cache,
 		Fetch:       NewFetchModel(),
 		Chain:       &ChainStats{},
+		Shapes:      &ShapeStats{},
 		methodCache: map[int64]methodCacheEnt{},
 	}
 	m.Fetch.HugeCovers = cache.HugeCovers
@@ -413,6 +458,29 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 				}
 				return out
 			}
+		case vasm.GuardShape:
+			v := act.get(in.A)
+			m.Shapes.Guards.Add(1)
+			if v.Kind != types.KObj || v.O.ShapeID() != uint32(in.I64) {
+				m.Shapes.GuardFails.Add(1)
+				guardFails++
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+				}
+				m.Meter.Charge(guardFailPenalty)
+				out, nip, done := m.jumpOrExit(code, act, in.Target1, guardFails)
+				if !done {
+					ip, runStart, xfer = nip, nip, true
+					continue
+				}
+				if nc, cip, ok := m.chainFrom(code, nip, act, &out, &chained); ok {
+					code, ip = nc, cip
+					fast, runStart, xfer = code.FastDispatch, cip, true
+					instrs, flags = code.Instrs, code.DispatchFlags
+					continue
+				}
+				return out
+			}
 		case vasm.LdLocGK:
 			// Fused LdLoc + GuardKind: load the local, then guard the
 			// loaded value exactly as the unfused pair would.
@@ -522,6 +590,68 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 			act.set(in.D, act.get(in.A).O.GetPropSlot(int(in.I64)))
 		case vasm.StProp:
 			act.get(in.A).O.SetPropSlot(h, int(in.I64), act.get(in.B))
+
+		case vasm.LdPropIC:
+			ov := act.get(in.A)
+			if ov.Kind != types.KObj {
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+					runStart = ip + 1
+				}
+				out := m.throwTo(code, act, in.Target1,
+					runtime.NewError("property access on non-object"), guardFails)
+				if out != nil {
+					return *out
+				}
+				continue
+			}
+			if slot, ok := m.probePropIC(code, ip, ov.O, in.Str); ok {
+				p := ov.O.GetPropSlot(slot)
+				if p.Kind == types.KUninit {
+					p = runtime.Null()
+				}
+				h.IncRef(p)
+				act.set(in.D, p)
+			} else {
+				// Megamorphic site, shapeless receiver, or a property
+				// the shape does not describe: generic by-name path.
+				m.Shapes.GenericPropCalls.Add(1)
+				act.set(in.D, runtime.GetPropNamed(h, ov.O, in.Str))
+			}
+		case vasm.StPropIC:
+			ov, val := act.get(in.A), act.get(in.B)
+			if ov.Kind != types.KObj {
+				h.DecRef(val)
+				if fast {
+					settleRun(m.Meter, code, runStart, ip)
+					runStart = ip + 1
+				}
+				out := m.throwTo(code, act, in.Target1,
+					runtime.NewError("property write on non-object"), guardFails)
+				if out != nil {
+					return *out
+				}
+				continue
+			}
+			if slot, ok := m.probePropIC(code, ip, ov.O, in.Str); ok {
+				// SetPropSlot maintains the shape on retyping stores, so
+				// the cached slot stays valid across kind changes.
+				ov.O.SetPropSlot(h, slot, val)
+			} else {
+				m.Shapes.GenericPropCalls.Add(1)
+				if err := runtime.SetPropNamed(h, ov.O, in.Str, val); err != nil {
+					if fast {
+						settleRun(m.Meter, code, runStart, ip)
+						runStart = ip + 1
+					}
+					out := m.throwTo(code, act, in.Target1,
+						runtime.NewError("%s", err.Error()), guardFails)
+					if out != nil {
+						return *out
+					}
+					continue
+				}
+			}
 		case vasm.LdThis:
 			if fr.This == nil {
 				if fast {
@@ -581,6 +711,16 @@ func (m *Machine) exec(code *mcode.Code, act *activation) (out Outcome) {
 					m.Counters.RecordCallTarget(
 						profile.CallSite{FuncID: fr.Fn.ID, PC: int(in.I64)},
 						v.O.Class.Name)
+				}
+			}
+		case vasm.ProfPropShape:
+			if m.Counters != nil {
+				v := act.get(in.A)
+				if v.Kind == types.KObj {
+					if sid := v.O.ShapeID(); sid != 0 {
+						m.Counters.RecordPropShape(
+							profile.CallSite{FuncID: fr.Fn.ID, PC: int(in.I64)}, sid)
+					}
 				}
 			}
 
@@ -848,6 +988,62 @@ func (m *Machine) setImm(act *activation, d vasm.Reg, iv vasm.ImmValue) {
 	default:
 		act.set(d, runtime.Null())
 	}
+}
+
+// probePropIC resolves a property through the shape IC burned into
+// the site's link slot. Returns (slot, true) when the receiver's
+// shape resolves the name — via a cached entry (hit) or a freshly
+// installed one (miss) — and (0, false) when the access must take the
+// generic by-name path: megamorphic site, shapeless object, or a name
+// the current shape does not describe (a dynamic-property store about
+// to transition the shape). Tables are copy-on-write; a racing
+// install is last-writer-wins (the lost entry is re-installed on the
+// next miss). Epoch-stale links are ignored and rebuilt against the
+// current epoch, so a republish invalidates every site wholesale.
+func (m *Machine) probePropIC(code *mcode.Code, ip int, o *runtime.Object, name string) (int, bool) {
+	var epoch uint64
+	if m.Epoch != nil {
+		epoch = m.Epoch.Load()
+	}
+	sid := o.ShapeID()
+	var ic *PropIC
+	if l := code.LoadLink(ip); l != nil && l.Epoch == epoch {
+		ic, _ = l.Target.(*PropIC)
+	}
+	if ic != nil {
+		if ic.Mega {
+			m.Shapes.ICMega.Add(1)
+			m.Meter.Charge(icMegaCost)
+			return 0, false
+		}
+		for i := 0; i < ic.N; i++ {
+			if ic.Entries[i].Shape == sid {
+				m.Shapes.ICHits.Add(1)
+				return int(ic.Entries[i].Slot), true
+			}
+		}
+	}
+	m.Shapes.ICMisses.Add(1)
+	m.Meter.Charge(icMissCost)
+	if sid == 0 {
+		return 0, false
+	}
+	slot, ok := o.Shape.Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	next := &PropIC{}
+	if ic != nil {
+		*next = *ic
+	}
+	if next.N >= propICCapacity {
+		next.Mega = true
+	} else {
+		next.Entries[next.N] = PropICEntry{Shape: sid, Slot: int32(slot)}
+		next.N++
+	}
+	code.StoreLink(ip, &mcode.Link{Epoch: epoch, Target: next})
+	return slot, true
 }
 
 // jumpOrExit handles a guard-fail target: a chained block (done=false,

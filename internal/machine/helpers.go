@@ -168,20 +168,16 @@ func (m *Machine) runHelper(act *activation, hid vasm.HelperID, extra int64, in 
 		if ov.Kind != types.KObj {
 			return runtime.Null(), runtime.NewError("property access on non-object")
 		}
-		p, ok := ov.O.GetProp(in.Str)
-		if !ok || p.Kind == types.KUninit {
-			p = runtime.Null()
-		}
-		h.IncRef(p)
-		return p, nil
+		m.Shapes.GenericPropCalls.Add(1)
+		return runtime.GetPropNamed(h, ov.O, in.Str), nil
 	case vasm.HStPropGeneric:
 		ov, val := arg(0), arg(1)
 		if ov.Kind != types.KObj {
 			h.DecRef(val)
 			return runtime.Null(), runtime.NewError("property write on non-object")
 		}
-		if err := ov.O.SetProp(h, in.Str, val); err != nil {
-			h.DecRef(val)
+		m.Shapes.GenericPropCalls.Add(1)
+		if err := runtime.SetPropNamed(h, ov.O, in.Str, val); err != nil {
 			return runtime.Null(), runtime.NewError("%s", err.Error())
 		}
 		return runtime.Null(), nil

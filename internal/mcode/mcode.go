@@ -158,7 +158,7 @@ func instrSize(in *vasm.Instr) uint64 {
 		return 3
 	case vasm.LdLoc, vasm.StLoc, vasm.LdStk, vasm.Spill, vasm.Reload:
 		return 8 // 16-byte cell moves
-	case vasm.GuardKind, vasm.GuardCls:
+	case vasm.GuardKind, vasm.GuardCls, vasm.GuardShape:
 		return 10 // cmp + jcc
 	case vasm.IncRef, vasm.DecRef:
 		return 12 // check + inc/dec + branch
@@ -170,8 +170,11 @@ func instrSize(in *vasm.Instr) uint64 {
 		return 8
 	case vasm.Exit, vasm.BindJmp:
 		return 16
-	case vasm.CountInc, vasm.ProfCallSite:
+	case vasm.CountInc, vasm.ProfCallSite, vasm.ProfPropShape:
 		return 7
+	case vasm.LdPropIC, vasm.StPropIC:
+		return 20 // shape load + cache probe + slot access
+
 	case vasm.ArrCount, vasm.LdProp, vasm.StProp, vasm.LdThis:
 		return 8
 	case vasm.ArrGetPkI:

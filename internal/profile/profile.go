@@ -47,6 +47,14 @@ type Counters struct {
 	// funcCalls counts direct calls per callee funcID (for the
 	// whole-program call graph used by function sorting).
 	funcCalls map[CallArc]uint64
+	// propShapes histograms the receiver's object shape at property
+	// access sites: (funcID, bcPC) -> shape ID -> count. Shape IDs
+	// are process-local (minted in first-touch order by this VM's
+	// shape tree), so this table is deliberately excluded from
+	// Data/Snapshot/Merge: it never rides jumpstart snapshots or
+	// fleet aggregation. Warm-started hosts rebuild shape knowledge
+	// through the self-filling inline caches instead.
+	propShapes map[CallSite]map[uint32]uint64
 }
 
 // Arc is an observed control transfer between translations.
@@ -67,6 +75,7 @@ func NewCounters() *Counters {
 		arcs:        map[Arc]uint64{},
 		callTargets: map[CallSite]map[string]uint64{},
 		funcCalls:   map[CallArc]uint64{},
+		propShapes:  map[CallSite]map[uint32]uint64{},
 	}
 	empty := []*chunk{}
 	c.slab.Store(&empty)
@@ -236,6 +245,63 @@ func (c *Counters) CallTargets(site CallSite) *TargetProfile {
 		return tp.Classes[i].Class < tp.Classes[j].Class
 	})
 	return tp
+}
+
+// RecordPropShape histograms the receiver shape at a property-access
+// site (profiling translations call it; shape 0 = shapeless receiver
+// and is recorded too, so the optimizer sees generic-only sites).
+func (c *Counters) RecordPropShape(site CallSite, shapeID uint32) {
+	c.mu.Lock()
+	m := c.propShapes[site]
+	if m == nil {
+		m = map[uint32]uint64{}
+		c.propShapes[site] = m
+	}
+	m[shapeID]++
+	c.mu.Unlock()
+}
+
+// ShapeWarmMin is the minimum observation count before a shape
+// profile supports monomorphic speculation. Profiling translations
+// run only briefly before republish, so the bar is low: a handful of
+// observations all agreeing on one shape is strong evidence.
+const ShapeWarmMin = 4
+
+// ShapeCount is one shape-histogram entry.
+type ShapeCount struct {
+	Shape uint32
+	Count uint64
+}
+
+// ShapeProfile summarizes a property site's receiver-shape
+// distribution.
+type ShapeProfile struct {
+	Total uint64
+	// Shapes sorted by descending count (shape ID tiebreak).
+	Shapes []ShapeCount
+}
+
+// PropShapes returns the shape profile for a site (nil if never
+// observed).
+func (c *Counters) PropShapes(site CallSite) *ShapeProfile {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.propShapes[site]
+	if len(m) == 0 {
+		return nil
+	}
+	sp := &ShapeProfile{}
+	for id, n := range m {
+		sp.Total += n
+		sp.Shapes = append(sp.Shapes, ShapeCount{id, n})
+	}
+	sort.Slice(sp.Shapes, func(i, j int) bool {
+		if sp.Shapes[i].Count != sp.Shapes[j].Count {
+			return sp.Shapes[i].Count > sp.Shapes[j].Count
+		}
+		return sp.Shapes[i].Shape < sp.Shapes[j].Shape
+	})
+	return sp
 }
 
 // RecordCall notes a dynamic caller->callee call.

@@ -16,6 +16,16 @@ type TypeSource interface {
 	StackType(depth int) types.Type
 }
 
+// ShapeFactSource optionally extends TypeSource with typed-object-
+// shape facts (DESIGN.md §14): PropReadType returns the result type
+// of the property read at (fn, pc) when the site's shape profile is
+// monomorphic and the shape records a stable slot kind, TInitCell
+// otherwise. The selector uses it to keep tracing through property
+// reads whose types would otherwise be unknown.
+type ShapeFactSource interface {
+	PropReadType(fnID, pc int, name string) types.Type
+}
+
 // SelectMode controls tracelet termination rules.
 type SelectMode int
 
@@ -246,6 +256,27 @@ func (s *selector) setGuard(loc Loc, t types.Type, con TypeConstraint) {
 func (s *selector) upgradeGuard(loc Loc, con TypeConstraint) {
 	if g, ok := s.guards[loc]; ok {
 		g.Constraint = g.Constraint.Stronger(con)
+	}
+}
+
+// widenObjGuard widens a property-access object's entry guard to the
+// bare Obj kind (DESIGN.md §14): the shape guard or inline cache in
+// the translation body subsumes the class, so pinning the class here
+// would split identical-layout receivers across chained translations
+// for nothing. Guards already strengthened to ConSpecialized by
+// another consumer (method dispatch) are left alone.
+func (s *selector) widenObjGuard(v *sval) {
+	if v.origin == nil {
+		return
+	}
+	g, ok := s.guards[*v.origin]
+	if !ok || g.Constraint > ConSpecific || !g.Type.SubtypeOf(types.TObj) {
+		return
+	}
+	g.Type = g.Type.Unspecialize()
+	v.t = v.t.Unspecialize()
+	if v.origin.Kind == LocLocal {
+		s.locals[v.origin.Slot] = v.t
 	}
 }
 

@@ -366,6 +366,20 @@ func (s *selector) step(in hhbc.Instr, pc int) (include, endAfter bool, succs []
 		}
 	case hhbc.OpCGetPropD:
 		obj := s.pop()
+		if sf, ok := s.src.(ShapeFactSource); ok {
+			// Shapes on (DESIGN.md §14): property access needs only
+			// object-ness — the optimized body carries a shape guard
+			// or inline cache for the layout, so the entry guard is
+			// widened to bare Obj and identical-layout classes share
+			// one translation instead of splitting the chain.
+			if !s.needVal(&obj, ConSpecific) || !obj.t.SubtypeOf(types.TObj) {
+				s.stack = append(s.stack, obj)
+				return false, false, nil
+			}
+			s.widenObjGuard(&obj)
+			s.push(sf.PropReadType(s.fn.ID, pc, u.Strings[in.A]))
+			return true, false, nil
+		}
 		if !s.needVal(&obj, ConSpecialized) {
 			s.stack = append(s.stack, obj)
 			return false, false, nil
@@ -374,6 +388,15 @@ func (s *selector) step(in hhbc.Instr, pc int) (include, endAfter bool, succs []
 	case hhbc.OpSetPropD:
 		val, obj := s.pop(), s.pop()
 		s.wantVal(&val, ConCountness)
+		if _, ok := s.src.(ShapeFactSource); ok {
+			if !s.needVal(&obj, ConSpecific) || !obj.t.SubtypeOf(types.TObj) {
+				s.stack = append(s.stack, obj, val)
+				return false, false, nil
+			}
+			s.widenObjGuard(&obj)
+			s.push(val.t)
+			return true, false, nil
+		}
 		if !s.needVal(&obj, ConSpecialized) {
 			s.stack = append(s.stack, obj, val)
 			return false, false, nil

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 
+	"repro/internal/shapes"
 	"repro/internal/types"
 )
 
@@ -26,6 +27,15 @@ type Class struct {
 
 	// ClassID is a dense ID used by JITed class-equality guards.
 	ClassID int
+
+	// RootShape is the interned shape of a freshly constructed
+	// instance (declared properties in slot order with their
+	// default-value kinds), set at link time. Classes with identical
+	// flattened layouts share a root, which is what lets one shape
+	// guard cover a class-polymorphic site. Nil for classes
+	// synthesized outside linking; their instances run shapeless and
+	// take only generic property paths.
+	RootShape *shapes.Shape
 
 	// AncestorBits is a bitset over dense class IDs covering this
 	// class, every ancestor, and every implemented interface — the
@@ -71,30 +81,55 @@ func (c *Class) IsSubclassOf(name string) bool {
 	return false
 }
 
-// Object is a guest object instance: a class pointer plus property
-// slots.
+// Object is a guest object instance: a class pointer, its current
+// shape, and property slots. The invariant len(Props) ==
+// Shape.NumSlots() holds whenever Shape is non-nil: dynamic
+// properties append a slot to both in the same write. Objects are
+// confined to one worker's requests, so Shape needs no
+// synchronization — only the shape *nodes* are shared.
 type Object struct {
 	Class      *Class
+	Shape      *shapes.Shape
 	Props      []Value
 	refs       int32
 	destructed bool
 }
 
 // NewObject allocates an instance of c with default-initialized
-// properties and refcount 1.
+// properties, the class's root shape, and refcount 1.
 func (h *Heap) NewObject(c *Class) *Object {
 	props := make([]Value, len(c.PropInit))
 	copy(props, c.PropInit)
 	h.LiveObjs++
-	return &Object{Class: c, Props: props, refs: 1}
+	return &Object{Class: c, Shape: c.RootShape, Props: props, refs: 1}
 }
 
 // Refs returns the current reference count.
 func (o *Object) Refs() int32 { return o.refs }
 
+// ShapeID returns the object's shape ID, 0 when shapeless — compiled
+// shape guards compare against it (0 never matches a minted guard).
+func (o *Object) ShapeID() uint32 {
+	if o.Shape == nil {
+		return 0
+	}
+	return o.Shape.ID
+}
+
+// slotOf resolves a property name against the object's current layout
+// (shape when present — which includes dynamic properties — else the
+// class's declared slots).
+func (o *Object) slotOf(name string) (int, bool) {
+	if o.Shape != nil {
+		return o.Shape.Lookup(name)
+	}
+	slot, ok := o.Class.PropNames[name]
+	return slot, ok
+}
+
 // GetProp returns a borrowed reference to the named property.
 func (o *Object) GetProp(name string) (Value, bool) {
-	slot, ok := o.Class.PropNames[name]
+	slot, ok := o.slotOf(name)
 	if !ok {
 		return Uninit(), false
 	}
@@ -102,24 +137,59 @@ func (o *Object) GetProp(name string) (Value, bool) {
 }
 
 // SetProp stores val (consuming the caller's reference) and releases
-// the previous value.
+// the previous value, maintaining the object's shape: a write whose
+// kind differs from the slot's recorded kind retypes the slot, and a
+// write to an undeclared name appends a dynamic property (shapeless
+// objects keep the historical undefined-property error instead).
 func (o *Object) SetProp(h *Heap, name string, val Value) error {
-	slot, ok := o.Class.PropNames[name]
-	if !ok {
+	if slot, ok := o.slotOf(name); ok {
+		o.SetPropSlot(h, slot, val)
+		return nil
+	}
+	if o.Shape == nil {
 		return fmt.Errorf("undefined property %s::$%s", o.Class.Name, name)
 	}
-	old := o.Props[slot]
-	o.Props[slot] = val
-	h.DecRef(old)
+	o.Shape = o.Shape.Transition(name, val.Kind)
+	o.Props = append(o.Props, val)
 	return nil
 }
 
 // GetPropSlot / SetPropSlot are the JIT fast paths once the slot index
-// has been resolved against a known class.
+// has been resolved (by a compile-time class layout or a shape guard).
 func (o *Object) GetPropSlot(slot int) Value { return o.Props[slot] }
 
+// SetPropSlot stores into a known slot, maintaining the typed shape.
+// The kind check is one lock-free comparison on the hot path; the
+// transition itself follows the shape tree's cached edges.
 func (o *Object) SetPropSlot(h *Heap, slot int, val Value) {
+	if o.Shape != nil && o.Shape.SlotKind(slot) != val.Kind {
+		o.Shape = o.Shape.Transition(o.Shape.Slots[slot].Name, val.Kind)
+	}
 	old := o.Props[slot]
 	o.Props[slot] = val
 	h.DecRef(old)
+}
+
+// GetPropNamed is the single generic property-read entry point shared
+// by the interpreter and the machine's generic helper / megamorphic
+// IC fallback (they previously duplicated this logic and could
+// drift). It returns an owned reference: missing and uninitialized
+// properties read as null, as in PHP.
+func GetPropNamed(h *Heap, o *Object, name string) Value {
+	p, _ := o.GetProp(name)
+	if p.Kind == types.KUninit {
+		p = Null()
+	}
+	h.IncRef(p)
+	return p
+}
+
+// SetPropNamed is the matching generic property-write entry point:
+// it consumes the caller's reference to val (also on error).
+func SetPropNamed(h *Heap, o *Object, name string, val Value) error {
+	if err := o.SetProp(h, name, val); err != nil {
+		h.DecRef(val)
+		return err
+	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	rt "repro/internal/runtime"
+	"repro/internal/shapes"
 	"repro/internal/types"
 )
 
@@ -277,5 +278,109 @@ func TestBuiltinTable(t *testing.T) {
 	}
 	if len(rt.BuiltinNames()) < 20 {
 		t.Errorf("builtin table suspiciously small: %d", len(rt.BuiltinNames()))
+	}
+}
+
+func TestPropNamedRefcounts(t *testing.T) {
+	h := rt.NewHeap()
+	tree := shapes.NewTree()
+	cls := &rt.Class{
+		Name:      "Box",
+		PropNames: map[string]int{"v": 0},
+		PropInit:  []rt.Value{rt.Null()},
+		Methods:   map[string]int{},
+		RootShape: tree.Root([]shapes.Slot{{Name: "v", Kind: types.KNull}}),
+	}
+	o := h.NewObject(cls)
+
+	s := rt.NewStr("payload")
+	if s.S.Refs() != 1 {
+		t.Fatalf("fresh string refs = %d", s.S.Refs())
+	}
+	// SetPropNamed consumes the caller's reference: the slot now holds
+	// the only one.
+	if err := rt.SetPropNamed(h, o, "v", s); err != nil {
+		t.Fatal(err)
+	}
+	if s.S.Refs() != 1 {
+		t.Fatalf("after store refs = %d, want 1 (slot-owned)", s.S.Refs())
+	}
+	// GetPropNamed returns an owned reference.
+	got := rt.GetPropNamed(h, o, "v")
+	if got.S != s.S || s.S.Refs() != 2 {
+		t.Fatalf("after read refs = %d, want 2", s.S.Refs())
+	}
+	h.DecRef(got)
+	// Overwriting releases the old value.
+	if err := rt.SetPropNamed(h, o, "v", rt.Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if s.S.Refs() != 0 {
+		t.Fatalf("overwritten value refs = %d, want 0", s.S.Refs())
+	}
+	// A missing property reads as null, not an error.
+	if v := rt.GetPropNamed(h, o, "absent"); v.Kind != types.KNull {
+		t.Fatalf("missing prop read %v, want null", v.DebugString())
+	}
+}
+
+func TestPropNamedDynamicTransitions(t *testing.T) {
+	h := rt.NewHeap()
+	tree := shapes.NewTree()
+	cls := &rt.Class{
+		Name:      "Bag",
+		PropNames: map[string]int{"id": 0},
+		PropInit:  []rt.Value{rt.Int(0)},
+		Methods:   map[string]int{},
+		RootShape: tree.Root([]shapes.Slot{{Name: "id", Kind: types.KInt}}),
+	}
+	a, b := h.NewObject(cls), h.NewObject(cls)
+	if a.ShapeID() != b.ShapeID() || a.ShapeID() == 0 {
+		t.Fatalf("fresh instances should share the root shape")
+	}
+	root := a.ShapeID()
+
+	// Writing an undeclared property transitions the shape and makes
+	// the value readable by name.
+	if err := rt.SetPropNamed(h, a, "count", rt.Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeID() == root {
+		t.Fatal("dynamic append did not transition the shape")
+	}
+	if v := rt.GetPropNamed(h, a, "count"); v.Kind != types.KInt || v.I != 7 {
+		t.Fatalf("dynamic prop read %v", v.DebugString())
+	}
+	// The sibling object is untouched.
+	if b.ShapeID() != root {
+		t.Fatal("transition leaked to another instance")
+	}
+	// The same write sequence on b converges on a's shape (interning).
+	if err := rt.SetPropNamed(h, b, "count", rt.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if b.ShapeID() != a.ShapeID() {
+		t.Fatalf("identical write sequences diverged: %d vs %d", b.ShapeID(), a.ShapeID())
+	}
+	// Retyping a slot (int -> string) transitions again; retyping back
+	// returns to the interned original.
+	withCount := a.ShapeID()
+	if err := rt.SetPropNamed(h, a, "count", rt.NewStr("many")); err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeID() == withCount {
+		t.Fatal("retype did not transition the shape")
+	}
+	if err := rt.SetPropNamed(h, a, "count", rt.Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if a.ShapeID() != withCount {
+		t.Fatal("retype round-trip did not return to the interned shape")
+	}
+	// A shapeless object (no linked root) keeps the historical
+	// undefined-property error.
+	bare := h.NewObject(&rt.Class{Name: "Bare", PropNames: map[string]int{}, Methods: map[string]int{}})
+	if err := rt.SetPropNamed(h, bare, "count", rt.Int(1)); err == nil {
+		t.Fatal("shapeless dynamic write should error")
 	}
 }

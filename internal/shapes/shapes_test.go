@@ -1,0 +1,157 @@
+package shapes
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestLayoutInterningAcrossClasses(t *testing.T) {
+	tr := NewTree()
+	// Two "classes" with identical flattened layouts must share one
+	// root node — that is the whole point of layout interning.
+	layout := []Slot{{Name: "x", Kind: types.KInt}, {Name: "y", Kind: types.KInt}}
+	a := tr.Root(layout)
+	b := tr.Root(layout)
+	if a != b {
+		t.Fatalf("identical layouts interned to distinct shapes %d and %d", a.ID, b.ID)
+	}
+	// A different slot ORDER is a different layout.
+	c := tr.Root([]Slot{{Name: "y", Kind: types.KInt}, {Name: "x", Kind: types.KInt}})
+	if c == a {
+		t.Fatalf("permuted layout shared shape %d", a.ID)
+	}
+	// A different slot kind is a different layout too.
+	d := tr.Root([]Slot{{Name: "x", Kind: types.KDbl}, {Name: "y", Kind: types.KInt}})
+	if d == a || d == c {
+		t.Fatalf("retyped layout interned to an existing shape")
+	}
+}
+
+func TestTransitionAppendAndLookup(t *testing.T) {
+	tr := NewTree()
+	root := tr.Root([]Slot{{Name: "id", Kind: types.KInt}})
+	s := root.Transition("count", types.KInt)
+	if s == root {
+		t.Fatalf("append transition returned the source shape")
+	}
+	if s.NumSlots() != 2 {
+		t.Fatalf("appended shape has %d slots, want 2", s.NumSlots())
+	}
+	i, ok := s.Lookup("count")
+	if !ok || i != 1 {
+		t.Fatalf("Lookup(count) = %d,%v, want 1,true", i, ok)
+	}
+	if s.SlotKind(1) != types.KInt {
+		t.Fatalf("appended slot kind = %v, want int", s.SlotKind(1))
+	}
+	// Same-name same-kind write is shape-stable.
+	if s.Transition("count", types.KInt) != s {
+		t.Fatalf("same-kind write changed the shape")
+	}
+	// Two objects taking the same transition path share the node.
+	if root.Transition("count", types.KInt) != s {
+		t.Fatalf("repeated transition minted a fresh shape")
+	}
+}
+
+func TestRetypePingPongIsCanonical(t *testing.T) {
+	tr := NewTree()
+	root := tr.Root([]Slot{{Name: "size", Kind: types.KInt}})
+	dbl := root.Transition("size", types.KDbl)
+	if dbl == root {
+		t.Fatalf("retype returned the source shape")
+	}
+	if dbl.NumSlots() != 1 {
+		t.Fatalf("retype changed the layout width")
+	}
+	// Alternating int/double must bounce between exactly two interned
+	// nodes, not grow the tree.
+	cur, n0 := root, tr.Count()
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			cur = cur.Transition("size", types.KDbl)
+			if cur != dbl {
+				t.Fatalf("iteration %d: retype to double left canonical node", i)
+			}
+		} else {
+			cur = cur.Transition("size", types.KInt)
+			if cur != root {
+				t.Fatalf("iteration %d: retype to int left canonical node", i)
+			}
+		}
+	}
+	if tr.Count() != n0 {
+		t.Fatalf("ping-pong grew the tree from %d to %d shapes", n0, tr.Count())
+	}
+}
+
+func TestDumpDeterminism(t *testing.T) {
+	// Two trees driven through the same transition sequence must be
+	// bit-identical in IDs and layouts: shape IDs are allocation-order
+	// deterministic, which the profile-to-compiler handoff relies on.
+	build := func() *Tree {
+		tr := NewTree()
+		p := tr.Root([]Slot{{Name: "x", Kind: types.KInt}, {Name: "y", Kind: types.KInt}})
+		b := tr.Root([]Slot{{Name: "id", Kind: types.KInt}})
+		s := b.Transition("count", types.KInt)
+		s = s.Transition("note", types.KStr)
+		s.Transition("size", types.KInt).Transition("size", types.KDbl)
+		p.Transition("tag", types.KStr)
+		return tr
+	}
+	d1, d2 := build().Dump(), build().Dump()
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("identically-driven trees dumped differently:\n%v\n%v", d1, d2)
+	}
+}
+
+func TestByID(t *testing.T) {
+	tr := NewTree()
+	root := tr.Root([]Slot{{Name: "x", Kind: types.KInt}})
+	child := root.Transition("y", types.KInt)
+	if tr.ByID(root.ID) != root || tr.ByID(child.ID) != child {
+		t.Fatalf("ByID did not round-trip")
+	}
+	if tr.ByID(0) != nil {
+		t.Fatalf("ByID(0) must be nil (no-shape sentinel)")
+	}
+	if tr.ByID(child.ID+100) != nil {
+		t.Fatalf("ByID out of range must be nil")
+	}
+}
+
+func TestConcurrentTransitions(t *testing.T) {
+	// Many goroutines racing the same transitions must converge on the
+	// same interned nodes (run under -race in CI).
+	tr := NewTree()
+	root := tr.Root([]Slot{{Name: "id", Kind: types.KInt}})
+	const workers = 8
+	results := make([][]*Shape, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("p%d", i%10)
+				s := root.Transition(name, types.KInt)
+				s = s.Transition(name, types.KDbl)
+				s = s.Transition("tail", types.KStr)
+				if i == 199 {
+					results[w] = []*Shape{s}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if results[w][0] != results[0][0] {
+			t.Fatalf("worker %d converged on shape %d, worker 0 on %d",
+				w, results[w][0].ID, results[0][0].ID)
+		}
+	}
+}

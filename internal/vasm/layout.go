@@ -44,7 +44,7 @@ func Layout(u *Unit, cfg LayoutConfig) {
 				tbl := u.Tables[in.I64]
 				out = append(out, tbl.Targets...)
 				out = append(out, tbl.Default)
-			case GuardKind, GuardCls:
+			case GuardKind, GuardCls, GuardShape:
 				if in.Target1 >= 0 {
 					out = append(out, in.Target1)
 				}

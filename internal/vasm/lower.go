@@ -451,6 +451,31 @@ func (lw *lowerer) lowerInstr(hin *hhir.Instr) error {
 	case hhir.StPropGeneric:
 		lw.helper(HStPropGeneric, 0, hin.Str, InvalidReg, lw.stub(hin.Exit),
 			lw.reg(hin.Args[0]), lw.reg(hin.Args[1]))
+	case hhir.GuardShape:
+		g := nzInstr(GuardShape)
+		g.A = lw.reg(hin.Args[0])
+		g.I64 = hin.I64
+		g.Target1 = lw.guardTarget(hin)
+		lw.emit(g)
+	case hhir.LdPropIC:
+		in := nzInstr(LdPropIC)
+		in.D = lw.reg(hin.Dst)
+		in.A = lw.reg(hin.Args[0])
+		in.Str = hin.Str
+		in.Target1 = lw.stub(hin.Exit)
+		lw.emit(in)
+	case hhir.StPropIC:
+		in := nzInstr(StPropIC)
+		in.A = lw.reg(hin.Args[0])
+		in.B = lw.reg(hin.Args[1])
+		in.Str = hin.Str
+		in.Target1 = lw.stub(hin.Exit)
+		lw.emit(in)
+	case hhir.ProfPropShape:
+		in := nzInstr(ProfPropShape)
+		in.I64 = hin.I64
+		in.A = lw.reg(hin.Args[0])
+		lw.emit(in)
 	case hhir.InstanceOf:
 		lw.helper(HInstanceOf, hin.I64, hin.Str, lw.reg(hin.Dst), -1, lw.reg(hin.Args[0]))
 

@@ -145,7 +145,7 @@ func liveIntervals(u *Unit, lin []instrRef) (map[Reg]int, map[Reg]int) {
 		for i := range b.Instrs {
 			in := &b.Instrs[i]
 			switch in.Op {
-			case Jmp, GuardKind, GuardCls:
+			case Jmp, GuardKind, GuardCls, GuardShape:
 				if in.Target1 >= 0 {
 					succs[bi] = append(succs[bi], in.Target1)
 				}
@@ -155,7 +155,8 @@ func liveIntervals(u *Unit, lin []instrRef) (map[Reg]int, map[Reg]int) {
 				tbl := u.Tables[in.I64]
 				succs[bi] = append(succs[bi], tbl.Targets...)
 				succs[bi] = append(succs[bi], tbl.Default)
-			case ArrGetPkI, Helper, CallFunc, CallMethodD, CallMethodC, CallBuiltin:
+			case ArrGetPkI, Helper, CallFunc, CallMethodD, CallMethodC, CallBuiltin,
+				LdPropIC, StPropIC:
 				if in.Target1 >= 0 {
 					succs[bi] = append(succs[bi], in.Target1)
 				}

@@ -76,6 +76,12 @@ const (
 	StProp // A.props[I64] <- B (releases old value)
 	LdThis // D <- frame $this
 
+	// Typed object shapes (DESIGN.md §14).
+	GuardShape // fail unless shape(A) has id I64; Target1 = fail stub
+	LdPropIC   // D <- A.props[Str] via shape IC (link slot); Target1 = catch stub
+	StPropIC   // A.props[Str] <- B via shape IC (link slot); Target1 = catch stub
+	ProfPropShape // record receiver shape of A at site I64
+
 	// Out-of-line helper call: I64 = HelperID; Args in order;
 	// Target1 = catch stub (0 = none).
 	Helper
@@ -131,6 +137,8 @@ var opNames = [...]string{
 	IncRef: "incref", DecRef: "decref",
 	ArrCount: "arrcount", ArrGetPkI: "arrgetpki",
 	LdProp: "ldprop", StProp: "stprop", LdThis: "ldthis",
+	GuardShape: "guardshape", LdPropIC: "ldpropic", StPropIC: "stpropic",
+	ProfPropShape: "profpropshape",
 	Helper: "helper", CallFunc: "callfunc", CallMethodD: "callmethodd",
 	CallMethodC: "callmethodc", CallBuiltin: "callbuiltin",
 	CountInc: "countinc", ProfCallSite: "profcallsite",
@@ -151,9 +159,13 @@ func (o Op) String() string {
 // jump or call that the runtime can rebind to a direct successor
 // (bind jumps, side-exit stubs, and direct guest calls bound to
 // callee prologues). Dynamic method calls (CallMethodC) resolve the
-// callee per receiver and keep their inline cache instead.
+// callee per receiver and keep their inline cache instead. Shape ICs
+// (LdPropIC/StPropIC) claim a smashable slot too: the machine burns
+// the epoch-stamped cache table into the site's link slot, and the
+// OptimizeAll republish sweep invalidates it wholesale.
 func (o Op) Smashable() bool {
-	return o == BindJmp || o == Exit || o == CallFunc || o == CallMethodD
+	return o == BindJmp || o == Exit || o == CallFunc || o == CallMethodD ||
+		o == LdPropIC || o == StPropIC
 }
 
 // ExitInfo describes how to materialize VM state when leaving JITed
@@ -213,7 +225,7 @@ func (in *Instr) String() string {
 		fmt.Fprintf(&sb, " %q", in.Str)
 	}
 	switch in.Op {
-	case Jmp, GuardKind, GuardCls, LdLocGK:
+	case Jmp, GuardKind, GuardCls, GuardShape, LdLocGK:
 		fmt.Fprintf(&sb, " ->B%d", in.Target1)
 	case Jcc, CmpIJcc, CmpDJcc:
 		fmt.Fprintf(&sb, " ->B%d,B%d", in.Target1, in.Target2)

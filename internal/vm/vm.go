@@ -67,6 +67,7 @@ func (v *VM) wire() {
 	v.Machine.CallGuest = v.callFromJIT
 	v.Machine.Epoch = v.JIT.EpochVar()
 	v.Machine.Chain = &v.JIT.Chain
+	v.Machine.Shapes = &v.JIT.Shapes
 	v.Machine.FI = v.JIT.Cfg.Faults
 	v.Machine.Fallback = func(fnID, pc int, fr *interp.Frame) machine.ChainTarget {
 		if tr := v.JIT.ChainFallback(fnID, pc, fr, v.Meter); tr != nil {

@@ -18,15 +18,19 @@ type Endpoint struct {
 // Suite returns the endpoint corpus.
 func Suite() []Endpoint {
 	return []Endpoint{
-		{Name: "feed_ranking", Weight: 0.22, Src: feedRanking},
-		{Name: "profile_render", Weight: 0.18, Src: profileRender},
-		{Name: "search_filter", Weight: 0.14, Src: searchFilter},
+		{Name: "feed_ranking", Weight: 0.20, Src: feedRanking},
+		{Name: "profile_render", Weight: 0.16, Src: profileRender},
+		{Name: "search_filter", Weight: 0.12, Src: searchFilter},
 		{Name: "notifications", Weight: 0.12, Src: notifications},
 		{Name: "messages_format", Weight: 0.10, Src: messagesFormat},
 		{Name: "ads_scoring", Weight: 0.09, Src: adsScoring},
 		{Name: "privacy_checks", Weight: 0.07, Src: privacyChecks},
 		{Name: "api_serialize", Weight: 0.05, Src: apiSerialize},
 		{Name: "batch_stats", Weight: 0.03, Src: batchStats},
+		{Name: "shape_mono", Weight: 0.02, Src: shapeMono},
+		{Name: "shape_poly", Weight: 0.02, Src: shapePoly},
+		{Name: "shape_mega", Weight: 0.01, Src: shapeMega},
+		{Name: "shape_dynamic", Weight: 0.01, Src: shapeDynamic},
 		longTail(150),
 	}
 }
