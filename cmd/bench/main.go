@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|host|chain|shapes|faults|fleet|all
+//	bench -exp fig8|fig9|fig10|fig11|jumpstart|scale|host|chain|shapes|faults|verify|fleet|all
 //	      [-quick] [-no-shapes] [-workers N] [-json path] [-cpuprofile path] [-memprofile path]
 //
 // -exp also accepts a comma-separated list (e.g. -exp scale,host).
@@ -42,10 +42,11 @@ type jsonReport struct {
 	Shapes *experiments.ShapesResult         `json:"shapes,omitempty"`
 	Faults *experiments.FaultsResult         `json:"faults,omitempty"`
 	Fleet  *experiments.FleetResult          `json:"fleet,omitempty"`
+	Verify *experiments.VerifyResult         `json:"verify,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment (or comma-separated list): fig8, fig9, fig10, fig11, jumpstart, scale, host, chain, shapes, faults, fleet, all")
+	exp := flag.String("exp", "all", "experiment (or comma-separated list): fig8, fig9, fig10, fig11, jumpstart, scale, host, chain, shapes, faults, verify, fleet, all")
 	quick := flag.Bool("quick", false, "reduced warmup/measurement volume")
 	noShapes := flag.Bool("no-shapes", false, "disable typed object shapes in every experiment config")
 	workers := flag.Int("workers", 4, "worker count for the scale experiment (compared against 1)")
@@ -206,6 +207,15 @@ func main() {
 			return fmt.Errorf("faulty run %.1f%% slower than baseline (budget 25%%)", res.SlowdownPct)
 		}
 		return nil
+	})
+	run("verify", func(pc perflab.Config) error {
+		res, err := experiments.Verify(pc, *faultSeed)
+		if err != nil {
+			return err
+		}
+		experiments.ReportVerify(os.Stdout, res)
+		report.Verify = res
+		return res.GateErr()
 	})
 	run("fleet", func(perflab.Config) error {
 		res, err := experiments.Fleet(*quick)

@@ -11,6 +11,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -276,5 +278,152 @@ func TestJumpstartVersionMismatchColdStart(t *testing.T) {
 	}
 	if _, err := jumpstart.Load(path); !errors.Is(err, jumpstart.ErrVersion) {
 		t.Fatalf("future-version snapshot load error = %v, want ErrVersion", err)
+	}
+}
+
+// TestCompileFaultsDeterministicAcrossCompileWorkers: injected
+// compile errors draw per site (keyed by function and entry PC), not
+// from a global counter, so fanning the optimizing backend over a
+// worker pool must fail exactly the translations a serial run fails.
+// Identical seeds and traffic with CompileWorkers 1 vs 4 must produce
+// the same failure count and the same quarantine ledger.
+func TestCompileFaultsDeterministicAcrossCompileWorkers(t *testing.T) {
+	run := func(workers int) (uint64, []string) {
+		src, eps := workload.Combined()
+		unit, err := core.Compile(src, core.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fi faultinject.Config
+		fi.Seed = 23
+		fi.Rates[faultinject.CompileError] = 0.25
+		cfg := jit.DefaultConfig()
+		cfg.ProfileTrigger = 250
+		cfg.CompileWorkers = workers
+		cfg.Faults = faultinject.New(fi)
+		eng, err := core.NewEngine(unit, cfg, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 30; r++ {
+			for _, ep := range eps {
+				var sb strings.Builder
+				eng.VM.SetOut(&sb)
+				val, err := eng.Call(workload.EndpointFunc(ep.Name))
+				if err != nil {
+					t.Fatalf("workers=%d endpoint %s: %v", workers, ep.Name, err)
+				}
+				eng.Heap().DecRef(val)
+			}
+		}
+		var ledger []string
+		eng.VM.JIT.ForEachQuarantined(func(fnID, pc, attempts int, permanent bool) {
+			ledger = append(ledger, fmt.Sprintf("%d:%d:%d:%v", fnID, pc, attempts, permanent))
+		})
+		sort.Strings(ledger)
+		return eng.Stats().CompileFailures, ledger
+	}
+
+	serialFails, serialLedger := run(1)
+	parallelFails, parallelLedger := run(4)
+	if serialFails == 0 {
+		t.Fatal("injected compile errors never fired (rate/traffic too low for the test to mean anything)")
+	}
+	if serialFails != parallelFails {
+		t.Errorf("CompileFailures: serial %d, 4 workers %d", serialFails, parallelFails)
+	}
+	if !reflect.DeepEqual(serialLedger, parallelLedger) {
+		t.Errorf("quarantine ledgers differ:\n serial   %v\n parallel %v", serialLedger, parallelLedger)
+	}
+}
+
+// TestQuarantineBackoffExpiryRepromotes drives the full recovery arc
+// end-to-end: a hot address whose compile is made to fail lands in
+// quarantine with a backoff window; once traffic moves the entries
+// clock past the window, the retry compiles cleanly, the address is
+// re-promoted, and QuarantineRecoveries records the heal. Outputs
+// must match the interpreter throughout — quarantine means interp
+// service, never wrong answers.
+func TestQuarantineBackoffExpiryRepromotes(t *testing.T) {
+	src, eps := workload.Combined()
+	unit, err := core.Compile(src, core.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEng, err := core.NewEngine(unit, jit.Config{Mode: jit.ModeInterp}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := interpRefs(t, refEng, eps)
+
+	inj := faultinject.New(faultinject.Config{Seed: 9})
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 250
+	cfg.Faults = inj
+	eng, err := core.NewEngine(unit, cfg, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func() {
+		t.Helper()
+		for _, ep := range eps {
+			var sb strings.Builder
+			eng.VM.SetOut(&sb)
+			val, err := eng.Call(workload.EndpointFunc(ep.Name))
+			if err != nil {
+				t.Fatalf("endpoint %s: %v", ep.Name, err)
+			}
+			eng.Heap().DecRef(val)
+			if sb.String() != ref[ep.Name] {
+				t.Fatalf("endpoint %s: output diverged from interpreter", ep.Name)
+			}
+		}
+	}
+	for r := 0; r < 30; r++ {
+		round()
+	}
+	if eng.Stats().OptimizedTranslations == 0 {
+		t.Fatal("warmup published no optimized translations")
+	}
+	base := eng.Stats()
+
+	// Knock out one hot published address and make its re-mint fail.
+	j := eng.VM.JIT
+	var fnID, pc = -1, -1
+	j.ForEachTranslation(func(tr *jit.Translation) {
+		if fnID < 0 {
+			fnID, pc = tr.FuncID, tr.PC
+		}
+	})
+	inj.ForceNext(faultinject.CompileError, 2)
+	if j.Invalidate(fnID, pc, false) == 0 {
+		t.Fatalf("victim (fn %d pc %d) was not published", fnID, pc)
+	}
+	for r := 0; r < 40; r++ {
+		round()
+	}
+
+	st := eng.Stats()
+	if fired := inj.Fired(faultinject.CompileError); fired == 0 {
+		t.Fatal("forced compile errors never fired (no re-mint attempted?)")
+	}
+	if st.CompileFailures <= base.CompileFailures {
+		t.Errorf("no compile failures recorded: %d -> %d", base.CompileFailures, st.CompileFailures)
+	}
+	if st.QuarantineRetries <= base.QuarantineRetries {
+		t.Errorf("no quarantine retries: %d -> %d", base.QuarantineRetries, st.QuarantineRetries)
+	}
+	if st.QuarantineRecoveries <= base.QuarantineRecoveries {
+		t.Errorf("backoff expiry never re-promoted the address: recoveries %d -> %d",
+			base.QuarantineRecoveries, st.QuarantineRecoveries)
+	}
+	// The healed ledger: nothing left quarantined, nothing demoted.
+	left := 0
+	j.ForEachQuarantined(func(_, _, _ int, _ bool) { left++ })
+	if left != 0 {
+		t.Errorf("%d addresses still in the quarantine ledger after recovery", left)
+	}
+	if st.Demotions != base.Demotions {
+		t.Errorf("transient compile failures escalated to demotion: %d -> %d", base.Demotions, st.Demotions)
 	}
 }

@@ -16,6 +16,7 @@ package faultinject
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -38,8 +39,33 @@ const (
 	// StaleLink stamps a freshly smashed chain link with an outdated
 	// epoch (models a lost invalidation on a direct-jump patch).
 	StaleLink
+	// CodeCorrupt flips bytes of a published translation's code (models
+	// bit rot or a wild write into the executable mapping). The machine
+	// layer perturbs the translation's observable result while the
+	// corruption is latched; the sentry auditor must catch the checksum
+	// mismatch (DESIGN.md §15).
+	CodeCorrupt
+	// TornLink publishes a smashable-link slot half-written: the stored
+	// link carries a target from the current index but an epoch stamp
+	// torn from a different one (models a non-atomic cross-line patch).
+	TornLink
+	// StaleIC rolls a freshly installed property-inline-cache table
+	// back to a previous epoch (models a lost IC invalidation after a
+	// shape-table republish).
+	StaleIC
 	// KindCount bounds the enum.
 	KindCount
+
+	// firstSilentKind marks the boundary between loud faults — ones
+	// the containment layer (DESIGN.md §11) recovers from on its own,
+	// with outputs preserved — and silent-corruption kinds that by
+	// design produce wrong results until the sentry layer (DESIGN.md
+	// §15) detects and repairs them. EnableAll stops here so that
+	// containment tests and `bench -exp faults` keep their
+	// outputs-bit-identical guarantee; silent kinds are opted into
+	// explicitly (per-kind Rates or ForceNext, as `bench -exp verify`
+	// does).
+	firstSilentKind = CodeCorrupt
 )
 
 func (k Kind) String() string {
@@ -54,6 +80,12 @@ func (k Kind) String() string {
 		return "snapshot-corrupt"
 	case StaleLink:
 		return "stale-link"
+	case CodeCorrupt:
+		return "code-corrupt"
+	case TornLink:
+		return "torn-link"
+	case StaleIC:
+		return "stale-ic"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -76,10 +108,15 @@ type Config struct {
 	Rates [KindCount]float64
 }
 
-// EnableAll returns a config firing every fault kind at rate.
+// EnableAll returns a config firing every loud fault kind at rate.
+// Silent-corruption kinds (CodeCorrupt, TornLink, StaleIC) stay off:
+// they deliberately break guest-visible results until a sentry
+// monitor repairs them, so blanket-enabling them would void the
+// containment layer's outputs-bit-identical contract. Enable them
+// per kind via Config.Rates or Injector.ForceNext.
 func EnableAll(seed int64, rate float64) Config {
 	c := Config{Seed: seed}
-	for k := range c.Rates {
+	for k := Kind(0); k < firstSilentKind; k++ {
 		c.Rates[k] = rate
 	}
 	return c
@@ -93,6 +130,9 @@ type Injector struct {
 	draws      [KindCount]atomic.Uint64
 	fired      [KindCount]atomic.Uint64
 	forced     [KindCount]atomic.Int64
+	// siteDraws holds the per-(kind, site) draw counters behind
+	// ShouldAt: map[uint64]*atomic.Uint64 keyed by kindSalt ^ site.
+	siteDraws sync.Map
 }
 
 // New builds an injector from cfg. A nil injector (no campaign) is
@@ -144,6 +184,47 @@ func (inj *Injector) Should(k Kind) bool {
 	}
 	n := inj.draws[k].Add(1)
 	if splitmix64(inj.seed^(uint64(k)<<56)^n) < th {
+		inj.fired[k].Add(1)
+		return true
+	}
+	return false
+}
+
+// ShouldAt draws the next sample for kind k at an injection site
+// identified by a caller-chosen stable key (e.g. a hash of function id
+// and bytecode pc). Unlike Should, whose single per-kind counter makes
+// the firing pattern depend on the global interleaving of draws,
+// ShouldAt keys the draw sequence by (kind, site): the n-th attempt at
+// a given site fires identically regardless of how many other sites
+// drew in between or on which goroutine. Parallel compile workers
+// therefore fail the same translations a serial run fails
+// (per-site attempt order is itself serialized by the translation
+// lease/single-flight machinery). Forced draws (ForceNext) are
+// consumed first, exactly as in Should.
+func (inj *Injector) ShouldAt(k Kind, site uint64) bool {
+	if inj == nil || k < 0 || k >= KindCount {
+		return false
+	}
+	for {
+		f := inj.forced[k].Load()
+		if f <= 0 {
+			break
+		}
+		if inj.forced[k].CompareAndSwap(f, f-1) {
+			inj.draws[k].Add(1)
+			inj.fired[k].Add(1)
+			return true
+		}
+	}
+	th := inj.thresholds[k]
+	if th == 0 {
+		return false
+	}
+	key := uint64(k)<<56 ^ splitmix64(site)
+	ctrAny, _ := inj.siteDraws.LoadOrStore(key, new(atomic.Uint64))
+	n := ctrAny.(*atomic.Uint64).Add(1)
+	inj.draws[k].Add(1)
+	if splitmix64(inj.seed^key^(n*0xD6E8FEB86659FD93)) < th {
 		inj.fired[k].Add(1)
 		return true
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jit"
 	"repro/internal/perflab"
+	"repro/internal/sentry"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -83,6 +84,14 @@ type Config struct {
 	// that many goroutines under per-function translation leases
 	// (plumbed into JIT.CompileWorkers). 0 keeps whatever JIT says.
 	CompileWorkers int
+
+	// VerifySample, when > 0, attaches a sentry monitor to every
+	// host: that fraction of its requests is shadow-executed and
+	// compared, its code cache is audited one chunk per minute, and a
+	// host that produces a verified divergence is pushed one rung
+	// down the degradation ladder so the balancer shifts traffic away
+	// while the culprit translation sits in quarantine.
+	VerifySample float64
 }
 
 // DefaultConfig is an 8-host fleet over the paper's 30-minute-style
@@ -137,6 +146,12 @@ type host struct {
 	downFor int
 	died    bool
 
+	// mon is the host's sentry monitor (nil when verification is
+	// off); lastDiv tracks divergences already reacted to, so each
+	// new one demotes the host exactly once.
+	mon     *sentry.Monitor
+	lastDiv uint64
+
 	// warmCycles is the jumpstart-load cost charged against the next
 	// serving minute's budget.
 	warmCycles uint64
@@ -174,7 +189,8 @@ type HostSample struct {
 	Up bool
 	// Event concatenates lifecycle letters: "J" warm jumpstart, "C"
 	// optimized publish, "R" taken down for restart, "U" rejoined,
-	// "S" shed escalation, "V" shed recovery, "X" died.
+	// "S" shed escalation, "V" shed recovery, "X" died, "D" verified
+	// divergence (host demoted, culprit quarantined).
 	Event string
 }
 
@@ -263,6 +279,10 @@ type Result struct {
 	MaxDegradePerHost []int32
 
 	Aggregator AggregatorStats
+	// Verify sums every host monitor's counters over the run (audit
+	// findings, shadow comparisons, divergences, quarantined
+	// culprits) when Config.VerifySample was set.
+	Verify sentry.Stats
 	// WallClock is host-machine time spent simulating (the raw-speed
 	// companion to the simulated-cycle numbers).
 	WallClock time.Duration
@@ -387,6 +407,9 @@ func Simulate(cfg Config) (*Result, error) {
 		if h.eng, err = core.NewEngine(unit, cfg.JIT, io.Discard); err != nil {
 			return nil, err
 		}
+		if err := h.attachMonitor(cfg); err != nil {
+			return nil, err
+		}
 		hosts[i] = h
 		res.HostSteadyRPS = append(res.HostSteadyRPS, h.steadyRPS)
 		res.HostCapacityRPS = append(res.HostCapacityRPS, capRPS)
@@ -416,6 +439,9 @@ func Simulate(cfg Config) (*Result, error) {
 			// aggregator's warm aggregate. The load's compile cycles
 			// are charged against this minute's serving budget.
 			if h.eng, err = core.NewEngine(unit, cfg.JIT, io.Discard); err != nil {
+				return nil, err
+			}
+			if err := h.attachMonitor(cfg); err != nil {
 				return nil, err
 			}
 			rec := RestartRecord{
@@ -450,6 +476,7 @@ func Simulate(cfg Config) (*Result, error) {
 				// engine (its code cache and profile) is discarded.
 				spill += h.backlog
 				h.backlog = 0
+				h.closeMonitor(res)
 				h.eng = nil
 				h.downFor = cfg.RestartDown
 				h.event("R")
@@ -514,6 +541,7 @@ func Simulate(cfg Config) (*Result, error) {
 					if out != refOut[ep.Name] {
 						o.mismatches++
 					}
+					h.mon.Observe(ep.Name, out)
 					o.users = append(o.users, user)
 					o.served++
 				}
@@ -542,6 +570,28 @@ func Simulate(cfg Config) (*Result, error) {
 				continue
 			}
 
+			// --- Verification (deterministic, post-serve): audit one
+			// chunk, drain pending shadow comparisons, and demote the
+			// host once per new verified divergence so the balancer
+			// shifts traffic away while the culprit is quarantined ---
+			demotedNow := false
+			if h.mon != nil {
+				h.mon.AuditStep(0)
+				h.mon.Drain()
+				if vs := h.mon.Stats(); vs.Divergences > h.lastDiv {
+					h.lastDiv = vs.Divergences
+					if !cfg.DisableShed {
+						j := h.eng.VM.JIT
+						j.Shed(j.DegradeLevel() + 1)
+						if lvl := j.DegradeLevel(); lvl > h.maxDegrade {
+							h.maxDegrade = lvl
+						}
+						demotedNow = true
+					}
+					h.event("D")
+				}
+			}
+
 			// --- Shedding / death (deterministic, post-serve) ------
 			assignedRatio := shares[i] / h.capacityRPS
 			if !cfg.DisableShed {
@@ -549,7 +599,9 @@ func Simulate(cfg Config) (*Result, error) {
 				if assignedRatio > cfg.ShedRatio {
 					j.Shed(j.DegradeLevel() + 1)
 					h.event("S")
-				} else if j.DegradeLevel() > jit.DegradeNone && assignedRatio < recoverRatio {
+				} else if j.DegradeLevel() > jit.DegradeNone && assignedRatio < recoverRatio && !demotedNow {
+					// A verification demotion holds for at least its
+					// minute so the balancer actually shifts traffic.
 					// Demand normalized: un-shed. Recovery keys off
 					// assigned load, not the queue — a host degraded to
 					// interp-only may never drain its backlog at interp
@@ -576,6 +628,7 @@ func Simulate(cfg Config) (*Result, error) {
 				h.died = true
 				lost += h.backlog
 				h.backlog = 0
+				h.closeMonitor(res)
 				h.eng = nil
 				h.event("X")
 			}
@@ -639,6 +692,7 @@ func Simulate(cfg Config) (*Result, error) {
 	}
 
 	for _, h := range hosts {
+		h.closeMonitor(res)
 		res.HostTimelines = append(res.HostTimelines, h.samples)
 		res.MaxDegradePerHost = append(res.MaxDegradePerHost, h.maxDegrade)
 		if h.died {
@@ -649,6 +703,54 @@ func Simulate(cfg Config) (*Result, error) {
 	res.Aggregator = agg.Stats()
 	res.WallClock = time.Since(start)
 	return res, nil
+}
+
+// attachMonitor starts a sentry monitor over the host's (fresh)
+// engine when verification is configured.
+func (h *host) attachMonitor(cfg Config) error {
+	if cfg.VerifySample <= 0 || h.eng == nil {
+		return nil
+	}
+	mon, err := sentry.New(sentry.Config{
+		SampleRate: cfg.VerifySample,
+		Seed:       cfg.Seed + 200 + int64(h.id),
+	}, h.eng.VM.JIT)
+	if err != nil {
+		return err
+	}
+	h.mon = mon
+	h.lastDiv = 0
+	return nil
+}
+
+// closeMonitor drains the host's monitor, folds its counters into the
+// fleet-wide totals, and shuts it down (restart, death, end of run).
+func (h *host) closeMonitor(res *Result) {
+	if h.mon == nil {
+		return
+	}
+	h.mon.Drain()
+	addVerify(&res.Verify, h.mon.Stats())
+	h.mon.Close()
+	h.mon = nil
+}
+
+// addVerify accumulates one monitor's counters into the fleet total.
+func addVerify(dst *sentry.Stats, s sentry.Stats) {
+	dst.ChecksumsRecorded += s.ChecksumsRecorded
+	dst.AuditSweeps += s.AuditSweeps
+	dst.Audited += s.Audited
+	dst.Corruptions += s.Corruptions
+	dst.TornLinks += s.TornLinks
+	dst.StaleLinks += s.StaleLinks
+	dst.DanglingLinks += s.DanglingLinks
+	dst.Invalidated += s.Invalidated
+	dst.Sampled += s.Sampled
+	dst.ShadowRuns += s.ShadowRuns
+	dst.Divergences += s.Divergences
+	dst.Replays += s.Replays
+	dst.Quarantined += s.Quarantined
+	dst.Transient += s.Transient
 }
 
 // event appends a lifecycle letter to the host's pending event

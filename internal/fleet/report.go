@@ -57,7 +57,7 @@ func Report(w io.Writer, r *Result) {
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintln(w, "events: J=warm jumpstart C=optimized R=restarting U=rejoined S=shed V=recovered X=died")
+	fmt.Fprintln(w, "events: J=warm jumpstart C=optimized R=restarting U=rejoined S=shed V=recovered X=died D=divergence demotion")
 
 	if len(r.Restarts) > 0 {
 		fmt.Fprintln(w, "\nrestarts:")

@@ -1,0 +1,83 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestFleetVerifyCleanRun: with verification sampling on and no
+// faults injected, the shadow comparisons all agree, nothing is
+// quarantined, and the verify counters are deterministic.
+func TestFleetVerifyCleanRun(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Minutes = 6
+	cfg.VerifySample = 0.2
+
+	run := func() *Result {
+		r, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Verify.Sampled == 0 || a.Verify.ShadowRuns == 0 {
+		t.Fatalf("verification sampled nothing: %+v", a.Verify)
+	}
+	if a.Verify.Audited == 0 {
+		t.Fatalf("auditor did no work: %+v", a.Verify)
+	}
+	if a.Verify.Divergences != 0 || a.Verify.Quarantined != 0 {
+		t.Fatalf("clean fleet produced divergences: %+v", a.Verify)
+	}
+	if a.OutputMismatches != 0 {
+		t.Fatalf("clean fleet had %d output mismatches", a.OutputMismatches)
+	}
+	if a.Verify != b.Verify {
+		t.Fatalf("verify counters differ across identical runs:\n a=%+v\n b=%+v", a.Verify, b.Verify)
+	}
+}
+
+// TestFleetVerifyDivergenceDemotesHost: inject silent code-byte
+// corruption fleet-wide with full shadow sampling — the monitors must
+// catch it (audit checksum or shadow divergence), quarantine culprit
+// translations, and any host with a verified divergence must be
+// pushed down the degradation ladder.
+func TestFleetVerifyDivergenceDemotesHost(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Hosts = 2
+	cfg.Minutes = 6
+	cfg.VerifySample = 1
+	var fi faultinject.Config
+	fi.Seed = 11
+	fi.Rates[faultinject.CodeCorrupt] = 0.002
+	cfg.JIT.Faults = faultinject.New(fi)
+
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := cfg.JIT.Faults.Fired(faultinject.CodeCorrupt)
+	if fired == 0 {
+		t.Skip("corruption injection never fired at this rate/traffic")
+	}
+	v := res.Verify
+	if v.Corruptions+v.Divergences == 0 {
+		t.Fatalf("injected %d corruptions, verification detected none: %+v", fired, v)
+	}
+	if v.Divergences > 0 {
+		if v.Replays == 0 {
+			t.Fatalf("divergences were never bisected: %+v", v)
+		}
+		demoted := false
+		for _, lvl := range res.MaxDegradePerHost {
+			if lvl > 0 {
+				demoted = true
+			}
+		}
+		if !demoted {
+			t.Fatalf("verified divergence but no host was demoted: %+v", res.MaxDegradePerHost)
+		}
+	}
+}

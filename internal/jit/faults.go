@@ -71,6 +71,17 @@ func (j *JIT) QuarantineState(fnID, pc int) (attempts, faults int, permanent boo
 	return 0, 0, false
 }
 
+// ForEachQuarantined visits every quarantine record (iteration order
+// unspecified) — the full-ledger companion to QuarantineState, used
+// to compare quarantine outcomes across runs.
+func (j *JIT) ForEachQuarantined(fn func(fnID, pc, attempts int, permanent bool)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for key, q := range j.quarantine {
+		fn(key.fn, key.pc, q.attempts, q.permanent)
+	}
+}
+
 // backoffLocked computes the retry window for a quarantine entry:
 // QuarantineBase entries, doubling per consecutive failure, capped so
 // the shift cannot overflow.
@@ -232,10 +243,47 @@ func (j *JIT) unpublishKeysLocked(keys map[transKey]bool) (removed []*Translatio
 		j.Chain.LinksSwept.Add(uint64(swept))
 	}
 	for _, tr := range removed {
+		if j.onUnpublish != nil {
+			j.onUnpublish(tr)
+		}
 		j.retireCode(tr)
 	}
 	atomic.AddUint64(&j.stats.Unpublished, uint64(len(removed)))
 	return removed
+}
+
+// Invalidate forcibly unpublishes every translation at (fnID, pc) —
+// the sentry's repair path for detected code-cache corruption
+// (DESIGN.md §15). With backoff the address is also quarantined for
+// one backoff window before reminting (a bisected culprit should not
+// be immediately re-minted from the same profile state); without it
+// the address remints on its next dispatch, which is the auditor's
+// checksum-mismatch repair: the code bytes rotted, not the compiler.
+// Returns the number of translations removed.
+func (j *JIT) Invalidate(fnID, pc int, backoff bool) int {
+	key := transKey{fnID, pc}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	removed := j.unpublishKeysLocked(map[transKey]bool{key: true})
+	if backoff && len(removed) > 0 {
+		q := j.quarantine[key]
+		if q == nil {
+			q = &quarantineEntry{}
+			j.quarantine[key] = q
+		}
+		if !q.permanent {
+			q.attempts++
+			if q.attempts >= j.Cfg.QuarantineMaxAttempts {
+				q.permanent = true
+				atomic.AddUint64(&j.stats.Demotions, 1)
+			} else {
+				q.until = j.entries.Load() + j.backoffLocked(q.attempts)
+			}
+		}
+	}
+	// The address starts cold again: thresholds apply afresh on remint.
+	delete(j.entryCount, key)
+	return len(removed)
 }
 
 // retireCode returns one translation's extent to its cache area and

@@ -300,6 +300,7 @@ type Stats struct {
 	PropICHits       uint64
 	PropICMisses     uint64
 	PropICMega       uint64
+	PropICStale      uint64
 	GenericPropCalls uint64
 
 	// Fault containment and self-healing (DESIGN.md §11).
@@ -410,6 +411,16 @@ type JIT struct {
 	compilesRunning atomic.Int64
 	peakCompiles    atomic.Uint64
 
+	// onPublish / onUnpublish are the sentry's verification hooks
+	// (DESIGN.md §15): onPublish fires for every translation installed
+	// into the index (checksum registration), onUnpublish for every
+	// translation removed (demotion, recycling, the optimized
+	// republish's profiling retirement). Both run under j.mu — hook
+	// bodies must not call back into the JIT. Set once at engine
+	// construction, before any translation exists.
+	onPublish   func(*Translation)
+	onUnpublish func(*Translation)
+
 	entries    atomic.Uint64
 	optStarted atomic.Bool // global retranslation claimed
 	optimized  atomic.Bool // optimized index published
@@ -509,6 +520,7 @@ func (j *JIT) Stats() Stats {
 		PropICHits:       j.Shapes.ICHits.Load(),
 		PropICMisses:     j.Shapes.ICMisses.Load(),
 		PropICMega:       j.Shapes.ICMega.Load(),
+		PropICStale:      j.Shapes.ICStaleDropped.Load(),
 		GenericPropCalls: j.Shapes.GenericPropCalls.Load(),
 
 		TransFaults:          ld(&s.TransFaults),
@@ -530,6 +542,16 @@ func (j *JIT) Stats() Stats {
 		out.LeaseAcquires, out.LeaseWaits, out.LeaseSteals = j.leases.statsSnapshot()
 	}
 	return out
+}
+
+// SetVerifyHooks registers the sentry's publish/unpublish observers.
+// Call before the engine serves requests: hooks are not retroactive,
+// and unhooked translations would audit as unknown.
+func (j *JIT) SetVerifyHooks(onPublish, onUnpublish func(*Translation)) {
+	j.mu.Lock()
+	j.onPublish = onPublish
+	j.onUnpublish = onUnpublish
+	j.mu.Unlock()
 }
 
 // EpochVar exposes the link-epoch counter for worker machines
@@ -560,6 +582,17 @@ func (j *JIT) Smash(code *mcode.Code, instr int, tr *Translation) {
 		// detect it as stale and fall back to the dispatch path rather
 		// than transfer through it.
 		code.StoreLink(instr, &mcode.Link{Epoch: epoch - 1, Target: tr})
+		j.Chain.BindsSmashed.Add(1)
+		return
+	}
+	if j.Cfg.Faults.Should(faultinject.TornLink) {
+		// Torn write: the target half of the patch landed but the epoch
+		// stamp is from a version that has never been published (epoch+1
+		// cannot exist yet — epochs only advance under j.mu). Followers
+		// treat the mismatched stamp as stale and fall back, and the
+		// sentry auditor flags the future epoch as a torn write
+		// (DESIGN.md §15) rather than a benign leftover.
+		code.StoreLink(instr, &mcode.Link{Epoch: epoch + 1, Target: tr})
 		j.Chain.BindsSmashed.Add(1)
 		return
 	}
@@ -766,6 +799,17 @@ func (j *JIT) Lookup(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Transla
 		close(done)
 		return tr
 	}
+}
+
+// FindPublished returns a guard-matching published translation for
+// (fn, fr.PC), or nil — Lookup without the minting slow path. The
+// sentry's bisection replays dispatch through it so a replay can never
+// mint code or disturb quarantine state (DESIGN.md §15). Lock-free.
+func (j *JIT) FindPublished(fn *hhbc.Func, fr *interp.Frame, m *machine.Meter) *Translation {
+	if j.Cfg.Mode == ModeInterp || j.degrade.Load() >= DegradeInterpOnly {
+		return nil
+	}
+	return j.findMatch(transKey{fn.ID, fr.PC}, fr, m)
 }
 
 // ForEachTranslation visits every translation in the published index

@@ -69,7 +69,15 @@ func (j *JIT) compileBackend(desc *region.Desc, bcfg hhir.BuildConfig,
 		}
 	}
 
-	if j.Cfg.Faults.Should(faultinject.CompileError) {
+	// The injection draw is keyed by the region's entry address, not
+	// the global draw counter: parallel compile workers interleave
+	// their draws nondeterministically, but the n-th compile attempt of
+	// a given (func, PC) fires identically however the attempts are
+	// scheduled, so CompileWorkers>1 fails the same translations a
+	// serial run fails.
+	entry := desc.Entry()
+	if j.Cfg.Faults.ShouldAt(faultinject.CompileError,
+		uint64(entry.Func.ID)<<32^uint64(uint32(entry.Start))) {
 		return nil, faultinject.Errf(faultinject.CompileError)
 	}
 	hu, err := hhir.Build(j.Unit, j.Env, desc, bcfg)
@@ -261,6 +269,9 @@ func (j *JIT) installLocked(tr *Translation) {
 	chain := append([]*Translation(nil), old[key]...)
 	idx[key] = append(chain, tr)
 	j.trans.Store(&idx)
+	if j.onPublish != nil {
+		j.onPublish(tr)
+	}
 }
 
 // OptimizeAll is the global retranslation trigger: it forms regions
@@ -492,6 +503,9 @@ func (j *JIT) OptimizeAll() {
 		var keep []*Translation
 		for _, tr := range chain {
 			if tr.Kind == ModeProfiling && published[tr.FuncID] {
+				if j.onUnpublish != nil {
+					j.onUnpublish(tr)
+				}
 				continue
 			}
 			keep = append(keep, tr)
@@ -510,6 +524,9 @@ func (j *JIT) OptimizeAll() {
 			continue
 		}
 		idx[key] = append(idx[key], tr)
+		if j.onPublish != nil {
+			j.onPublish(tr)
+		}
 	}
 	j.trans.Store(&idx)
 	// Advance the link epoch: the republish retired the profiling

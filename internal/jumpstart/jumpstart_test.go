@@ -2,6 +2,7 @@ package jumpstart
 
 import (
 	"math/rand"
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -73,15 +74,19 @@ func TestTypeReprRoundTrip(t *testing.T) {
 func TestDecodeRejectsCorruption(t *testing.T) {
 	data := Encode(sampleSnapshot())
 
-	// Truncation at every prefix must error, never panic or succeed.
-	for n := 0; n < len(data)-1; n++ {
+	// Truncation at every proper prefix must error, never panic or
+	// succeed — n reaches len(data)-1 so dropping only the final byte
+	// (the easiest truncation for a length-prefixed codec to miss) is
+	// covered too.
+	for n := 0; n < len(data); n++ {
 		if _, err := Decode(data[:n]); err == nil {
 			t.Fatalf("truncation to %d bytes decoded successfully", n)
 		}
 	}
 
-	// Any single-byte payload flip must fail the checksum.
-	for i := 9; i < len(data); i += 7 {
+	// Every single-byte payload flip must fail the checksum,
+	// including the last byte (a stride would skip it).
+	for i := 9; i < len(data); i++ {
 		bad := append([]byte(nil), data...)
 		bad[i] ^= 0x40
 		if _, err := Decode(bad); err == nil {
@@ -99,6 +104,50 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	bad[4] = FormatVersion + 1
 	if _, err := Decode(bad); err == nil {
 		t.Error("future version accepted")
+	}
+}
+
+// TestLoadRejectsTruncatedFile covers the file path end-to-end: a
+// snapshot file cut short at any point — including by a single byte —
+// or flipped in its final byte must make Load return an error, not a
+// partial snapshot and not a panic. This is the shape of real-world
+// damage (a crashed writer, a full disk, a torn copy), and the
+// server's jumpstart path trusts Load to reject it.
+func TestLoadRejectsTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	whole := filepath.Join(dir, "whole.hhjs")
+	s := sampleSnapshot()
+	if err := Save(whole, s); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := filepath.Join(dir, "bad.hhjs")
+	for _, n := range []int{0, 1, 4, len(data) / 2, len(data) - 2, len(data) - 1} {
+		if err := os.WriteFile(bad, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if snap, err := Load(bad); err == nil {
+			t.Fatalf("Load accepted a file truncated to %d of %d bytes (got %d trans)",
+				n, len(data), snap.NumTrans())
+		}
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0x01
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("Load accepted a file with its final byte flipped")
+	}
+
+	// The intact file still loads after all that.
+	if _, err := Load(whole); err != nil {
+		t.Fatalf("intact file failed to load: %v", err)
 	}
 }
 

@@ -1,0 +1,258 @@
+package sentry_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/mcode"
+	"repro/internal/perflab"
+	"repro/internal/sentry"
+	"repro/internal/workload"
+)
+
+// warmEngine builds a combined-site engine and runs enough traffic to
+// publish optimized translations.
+func warmEngine(t *testing.T) (*core.Engine, []workload.Endpoint, map[string]string) {
+	t.Helper()
+	cfg := jit.DefaultConfig()
+	cfg.ProfileTrigger = 200
+	eng, eps, err := perflab.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut := map[string]string{}
+	for i := 0; i < 25; i++ {
+		for _, ep := range eps {
+			_, out, err := perflab.RunEndpoint(eng, ep.Name)
+			if err != nil {
+				t.Fatalf("endpoint %s: %v", ep.Name, err)
+			}
+			if i == 0 {
+				refOut[ep.Name] = out
+			} else if out != refOut[ep.Name] {
+				t.Fatalf("endpoint %s: nondeterministic output", ep.Name)
+			}
+		}
+	}
+	if eng.Stats().OptimizedTranslations == 0 {
+		t.Fatal("warmup published no optimized translations")
+	}
+	return eng, eps, refOut
+}
+
+func TestAuditCleanCacheFindsNothing(t *testing.T) {
+	eng, _, _ := warmEngine(t)
+	m, err := sentry.New(sentry.Config{}, eng.VM.JIT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Registered() == 0 {
+		t.Fatal("monitor registered no translations from a warm JIT")
+	}
+	if found := m.Audit(); found != 0 {
+		t.Fatalf("clean cache: audit found %d corruptions", found)
+	}
+	st := m.Stats()
+	if st.Audited == 0 || st.AuditSweeps == 0 {
+		t.Fatalf("audit did no work: %+v", st)
+	}
+}
+
+func TestAuditDetectsTamperAndRepairs(t *testing.T) {
+	eng, eps, refOut := warmEngine(t)
+	j := eng.VM.JIT
+	m, err := sentry.New(sentry.Config{}, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Corrupt the code bytes of every published translation: the
+	// checksum audit must flag each one and unpublish it.
+	tampered := 0
+	j.ForEachTranslation(func(tr *jit.Translation) {
+		if tr.Code.InjectTamper(0xA5) {
+			tampered++
+		}
+	})
+	if tampered == 0 {
+		t.Fatal("nothing to tamper")
+	}
+	found := m.Audit()
+	if found == 0 {
+		t.Fatal("audit missed all tampered translations")
+	}
+	st := m.Stats()
+	if st.Corruptions == 0 || st.Invalidated == 0 {
+		t.Fatalf("audit stats: %+v", st)
+	}
+	// Invalidating one translation also unpublishes same-key siblings
+	// before their turn in the sweep, so found may be less than
+	// tampered — but no tampered translation may remain published.
+	j.ForEachTranslation(func(tr *jit.Translation) {
+		if tr.Code.Tampered() != 0 {
+			t.Fatalf("tampered translation (fn %d pc %d) still published", tr.FuncID, tr.PC)
+		}
+	})
+
+	// Post-repair: outputs are bit-identical to the warm reference
+	// (interp serves while re-mints happen), and a fresh audit over
+	// the re-minted cache is clean.
+	for i := 0; i < 10; i++ {
+		for _, ep := range eps {
+			_, out, err := perflab.RunEndpoint(eng, ep.Name)
+			if err != nil {
+				t.Fatalf("endpoint %s after repair: %v", ep.Name, err)
+			}
+			if out != refOut[ep.Name] {
+				t.Fatalf("endpoint %s: output diverged after repair", ep.Name)
+			}
+		}
+	}
+	if found := m.Audit(); found != 0 {
+		t.Fatalf("re-minted cache: audit found %d corruptions", found)
+	}
+}
+
+func TestAuditDetectsTornLink(t *testing.T) {
+	eng, _, _ := warmEngine(t)
+	j := eng.VM.JIT
+	m, err := sentry.New(sentry.Config{}, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Plant a future-epoch link — the signature of a torn smash
+	// write — on the first translation that has a link slab.
+	var victim *jit.Translation
+	j.ForEachTranslation(func(tr *jit.Translation) {
+		if victim != nil {
+			return
+		}
+		tr.Code.StoreLink(0, &mcode.Link{Epoch: j.Epoch() + 1, Target: tr})
+		if tr.Code.LoadLink(0) != nil {
+			victim = tr
+		}
+	})
+	if victim == nil {
+		t.Skip("no translation with a smashable-link slab")
+	}
+	if found := m.Audit(); found == 0 {
+		t.Fatal("audit missed the torn link")
+	}
+	if st := m.Stats(); st.TornLinks == 0 {
+		t.Fatalf("torn link not counted: %+v", st)
+	}
+	if victim.Code.LoadLink(0) != nil {
+		t.Fatal("torn link not cleared")
+	}
+}
+
+func TestShadowBisectionQuarantinesCulprit(t *testing.T) {
+	eng, eps, refOut := warmEngine(t)
+	j := eng.VM.JIT
+	m, err := sentry.New(sentry.Config{SampleRate: 1, Seed: 7}, j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Tamper every published translation. The replay leg of each
+	// shadow comparison executes the tampered code, so the divergence
+	// must surface even if the primary output happens to survive.
+	j.ForEachTranslation(func(tr *jit.Translation) { tr.Code.InjectTamper(0x11) })
+
+	for _, ep := range eps {
+		_, out, err := perflab.RunEndpoint(eng, ep.Name)
+		if err != nil {
+			t.Fatalf("endpoint %s: %v", ep.Name, err)
+		}
+		m.Observe(ep.Name, out)
+	}
+	m.Drain()
+
+	st := m.Stats()
+	if st.Sampled == 0 || st.ShadowRuns == 0 {
+		t.Fatalf("sampling did not run: %+v", st)
+	}
+	if st.Divergences == 0 {
+		t.Fatalf("no divergence detected across tampered cache: %+v", st)
+	}
+	if st.Quarantined == 0 {
+		t.Fatalf("bisection quarantined nothing: %+v", st)
+	}
+	reps := m.Reports()
+	if len(reps) == 0 {
+		t.Fatal("no divergence reports")
+	}
+	foundCulprit := false
+	for _, r := range reps {
+		if r.Quarantined && r.CulpritFunc >= 0 {
+			foundCulprit = true
+			if r.Replays == 0 {
+				t.Fatalf("culprit without replays: %+v", r)
+			}
+		}
+	}
+	if !foundCulprit {
+		t.Fatalf("no report isolated a culprit: %+v", reps)
+	}
+
+	// Recovery: audit repairs the remaining tampered translations and
+	// traffic converges back to the reference outputs.
+	m.Audit()
+	for i := 0; i < 10; i++ {
+		for _, ep := range eps {
+			_, out, err := perflab.RunEndpoint(eng, ep.Name)
+			if err != nil {
+				t.Fatalf("endpoint %s post-recovery: %v", ep.Name, err)
+			}
+			if out != refOut[ep.Name] {
+				t.Fatalf("endpoint %s: output still diverged after repair", ep.Name)
+			}
+		}
+	}
+}
+
+func TestSamplingIsDeterministic(t *testing.T) {
+	eng, eps, refOut := warmEngine(t)
+	j := eng.VM.JIT
+
+	pick := func(seed int64) []bool {
+		m, err := sentry.New(sentry.Config{SampleRate: 0.3, Seed: seed}, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		var got []bool
+		for i := 0; i < 40; i++ {
+			ep := eps[i%len(eps)]
+			got = append(got, m.Observe(ep.Name, refOut[ep.Name]))
+		}
+		m.Drain()
+		if st := m.Stats(); st.Divergences != 0 {
+			t.Fatalf("clean traffic produced divergences: %+v", st)
+		}
+		return got
+	}
+
+	a, b := pick(3), pick(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling decision %d differs across identical runs", i)
+		}
+	}
+	c := pick(4)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sampling pattern (suspicious)")
+	}
+}

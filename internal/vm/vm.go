@@ -27,6 +27,16 @@ type VM struct {
 	Heap    *runtime.Heap
 	Machine *machine.Machine
 
+	// DenyTrans, when set, puts the VM in the sentry's replay mode
+	// (DESIGN.md §15): dispatch consults only published translations
+	// (FindPublished — no minting, no quarantine churn) and any
+	// translation the predicate rejects runs in the interpreter
+	// instead. The bisector replays a diverged request with successive
+	// disable masks to pin the culprit translation. Replay VMs must
+	// also be decoupled from shared link state (private Machine.Epoch,
+	// nil Fallback, nil Machine.FI) — see sentry.Monitor.
+	DenyTrans func(*jit.Translation) bool
+
 	depth int
 }
 
@@ -77,6 +87,13 @@ func (v *VM) wire() {
 	}
 	v.Env.Call = v.CallFunc
 	v.Env.OSRCheck = func(fr *interp.Frame) bool {
+		if v.DenyTrans != nil {
+			// Replay mode: OSR only into an already-published, non-denied
+			// translation — never bounce out to mint one, and never
+			// livelock on a match the mask forbids running.
+			tr := v.JIT.FindPublished(fr.Fn, fr, v.Meter)
+			return tr != nil && !v.DenyTrans(tr)
+		}
 		return v.JIT.HasMatch(fr.Fn, fr) || v.JIT.WantsTranslation(fr.Fn, fr)
 	}
 }
@@ -123,7 +140,12 @@ func (v *VM) call(f *hhbc.Func, this *runtime.Object, args []runtime.Value,
 	v.depth++
 	defer func() { v.depth-- }()
 
-	v.JIT.OnEntry()
+	// Replay VMs never feed the retranslation trigger: a sentry
+	// replay must observe the published code, not advance the entry
+	// count or fire OptimizeAll from the comparator goroutine.
+	if v.DenyTrans == nil {
+		v.JIT.OnEntry()
+	}
 	fr := interp.NewFrame(v.Env, f, this, args)
 	// A bound call site skips the dispatcher Lookup entirely when the
 	// callee prologue translation still matches the fresh frame. On a
@@ -140,6 +162,9 @@ func (v *VM) call(f *hhbc.Func, this *runtime.Object, args []runtime.Value,
 		if tr0 != nil {
 			v.Machine.Chain.ChainedCalls.Add(1)
 		}
+	}
+	if v.DenyTrans != nil && tr0 != nil && v.DenyTrans(tr0) {
+		tr0 = nil
 	}
 	return v.runFrame(fr, nil, tr0)
 }
@@ -167,7 +192,17 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf, tr0 *jit.Translation) (runtime
 		if tr0 != nil {
 			tr, tr0 = tr0, nil
 		} else if !skipJIT {
-			tr = v.JIT.Lookup(fr.Fn, fr, v.Meter)
+			if v.DenyTrans != nil {
+				// Replay mode: published translations only, minus the
+				// disable mask. A denied match interprets — the
+				// interpreter is the semantic anchor the mask is being
+				// bisected against.
+				if tr = v.JIT.FindPublished(fr.Fn, fr, v.Meter); tr != nil && v.DenyTrans(tr) {
+					tr = nil
+				}
+			} else {
+				tr = v.JIT.Lookup(fr.Fn, fr, v.Meter)
+			}
 		}
 		skipJIT = false
 		if tr == nil {
@@ -191,10 +226,14 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf, tr0 *jit.Translation) (runtime
 		if bindCode != nil {
 			// Smash the exit site of the previous translation with the
 			// dispatcher's pick: the next transfer chains directly.
-			v.JIT.Smash(bindCode, bindInstr, tr)
+			// Replay VMs never smash — a replay must observe shared code
+			// state, not perturb it.
+			if v.DenyTrans == nil {
+				v.JIT.Smash(bindCode, bindInstr, tr)
+			}
 			bindCode = nil
 		}
-		if lastProf != nil {
+		if lastProf != nil && v.DenyTrans == nil {
 			v.JIT.RecordArc(lastProf, tr)
 		}
 		if tr.Kind == jit.ModeProfiling {
@@ -271,8 +310,12 @@ func (v *VM) runFrame(fr *interp.Frame, lastProf, tr0 *jit.Translation) (runtime
 			// demoted and unpublished), then re-execute the region in the
 			// interpreter so the request completes with identical
 			// semantics. One forced interpreter stretch avoids bouncing
-			// straight back into the same translation.
-			v.JIT.RecordFault(fr.Fn.ID, out.BCOff)
+			// straight back into the same translation. Replays observe,
+			// never adjudicate: a fault during a sentry replay is not
+			// charged against the address.
+			if v.DenyTrans == nil {
+				v.JIT.RecordFault(fr.Fn.ID, out.BCOff)
+			}
 			fr.PC = out.BCOff
 			skipJIT = true
 			lastProf = nil
